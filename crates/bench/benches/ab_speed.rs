@@ -1,0 +1,37 @@
+//! Criterion bench for the paper's §4 claim: the procedure-call RTOS
+//! model (approach B) simulates faster than the dedicated-RTOS-thread
+//! model (approach A), because it removes two coroutine switches per
+//! scheduling action.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsim::scenarios::ab_stress_system;
+use rtsim::EngineKind;
+
+fn run(engine: EngineKind, tasks: usize, rounds: u64) {
+    let mut system = ab_stress_system(engine, tasks, rounds)
+        .elaborate()
+        .expect("model");
+    system.run().expect("run");
+    std::hint::black_box(system.kernel_stats());
+}
+
+fn ab_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ab_speed");
+    group.sample_size(10);
+    for &(tasks, rounds) in &[(4usize, 100u64), (8, 100), (16, 100)] {
+        group.bench_with_input(
+            BenchmarkId::new("dedicated_thread", format!("{tasks}x{rounds}")),
+            &(tasks, rounds),
+            |b, &(tasks, rounds)| b.iter(|| run(EngineKind::DedicatedThread, tasks, rounds)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("procedure_call", format!("{tasks}x{rounds}")),
+            &(tasks, rounds),
+            |b, &(tasks, rounds)| b.iter(|| run(EngineKind::ProcedureCall, tasks, rounds)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ab_speed);
+criterion_main!(benches);

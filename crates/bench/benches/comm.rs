@@ -1,0 +1,95 @@
+//! Micro-benches of the MCSE communication relations: queue round-trips,
+//! event signalling, and shared-variable locking — the per-transaction
+//! host cost of the model's §2 relations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtsim::{
+    EventPolicy, LockMode, MessageQueue, Processor, ProcessorConfig, RtEvent, SharedVar,
+    SimDuration, Simulator, TaskConfig, TraceRecorder,
+};
+
+fn queue_round_trips(rounds: u64, traced: bool) {
+    let mut sim = Simulator::new();
+    let rec = if traced {
+        TraceRecorder::new()
+    } else {
+        TraceRecorder::disabled()
+    };
+    let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+    let q: MessageQueue<u64> = MessageQueue::new(&rec, "q", 4);
+    let tx = q.clone();
+    cpu.spawn_task(&mut sim, TaskConfig::new("producer").priority(2), move |t| {
+        for v in 0..rounds {
+            tx.write(t, v);
+            t.delay(SimDuration::from_ns(100));
+        }
+    });
+    cpu.spawn_task(&mut sim, TaskConfig::new("consumer").priority(1), move |t| {
+        for _ in 0..rounds {
+            let _ = q.read(t);
+        }
+    });
+    sim.run().expect("run");
+}
+
+fn event_storm(rounds: u64) {
+    let mut sim = Simulator::new();
+    let rec = TraceRecorder::disabled();
+    let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+    let ev = RtEvent::new(&rec, "ev", EventPolicy::Counter);
+    let tx = ev.clone();
+    cpu.spawn_task(&mut sim, TaskConfig::new("signaller").priority(2), move |t| {
+        for _ in 0..rounds {
+            tx.signal(t);
+            t.delay(SimDuration::from_ns(100));
+        }
+    });
+    cpu.spawn_task(&mut sim, TaskConfig::new("waiter").priority(1), move |t| {
+        for _ in 0..rounds {
+            ev.wait(t);
+        }
+    });
+    sim.run().expect("run");
+}
+
+fn lock_contention(rounds: u64, mode: LockMode) {
+    let mut sim = Simulator::new();
+    let rec = TraceRecorder::disabled();
+    let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+    let var = SharedVar::new(&rec, "v", 0u64, mode);
+    for (name, prio) in [("a", 2), ("b", 1)] {
+        let var = var.clone();
+        cpu.spawn_task(&mut sim, TaskConfig::new(name).priority(prio), move |t| {
+            for _ in 0..rounds {
+                var.with_lock(t, |agent, value| {
+                    agent.execute(SimDuration::from_ns(200));
+                    *value += 1;
+                });
+                t.delay(SimDuration::from_ns(100));
+            }
+        });
+    }
+    sim.run().expect("run");
+}
+
+fn comm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm");
+    group.sample_size(10);
+    group.bench_function("queue_1000_roundtrips_untraced", |b| {
+        b.iter(|| queue_round_trips(1_000, false))
+    });
+    group.bench_function("queue_1000_roundtrips_traced", |b| {
+        b.iter(|| queue_round_trips(1_000, true))
+    });
+    group.bench_function("event_1000_signals", |b| b.iter(|| event_storm(1_000)));
+    group.bench_function("mutex_500_plain", |b| {
+        b.iter(|| lock_contention(500, LockMode::Plain))
+    });
+    group.bench_function("mutex_500_inheritance", |b| {
+        b.iter(|| lock_contention(500, LockMode::PriorityInheritance))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, comm);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benches of the discrete-event kernel substrate: timed-wait
+//! throughput (timer wheel) and event ping-pong (coroutine handoff cost —
+//! the raw quantity behind the §4 A-vs-B gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsim::{SimDuration, Simulator};
+
+fn timer_wheel(n_processes: usize, waits: u64) {
+    let mut sim = Simulator::new();
+    for i in 0..n_processes {
+        sim.spawn(&format!("p{i}"), move |ctx| {
+            for k in 0..waits {
+                ctx.wait_for(SimDuration::from_ps(1 + (k * 7 + i as u64) % 100));
+            }
+        });
+    }
+    sim.run().expect("run");
+    std::hint::black_box(sim.stats());
+}
+
+fn ping_pong(rounds: u64) {
+    let mut sim = Simulator::new();
+    let ping = sim.event("ping");
+    let pong = sim.event("pong");
+    sim.spawn("a", move |ctx| {
+        for _ in 0..rounds {
+            ctx.notify(ping);
+            ctx.wait_event(pong);
+        }
+    });
+    sim.spawn("b", move |ctx| {
+        for _ in 0..rounds {
+            ctx.wait_event(ping);
+            ctx.notify(pong);
+        }
+    });
+    sim.run().expect("run");
+    std::hint::black_box(sim.stats());
+}
+
+fn kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(10);
+    for &n in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("timer_wheel", n), &n, |b, &n| {
+            b.iter(|| timer_wheel(n, 200))
+        });
+    }
+    group.bench_function("event_ping_pong_1000", |b| b.iter(|| ping_pong(1_000)));
+    group.finish();
+}
+
+criterion_group!(benches, kernel);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the MPEG-2 SoC case study: whole-pipeline
+//! simulation cost per frame batch, for both engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsim::scenarios::{mpeg2_system, Mpeg2Config};
+use rtsim::EngineKind;
+
+fn run(engine: EngineKind, frames: u64) {
+    let config = Mpeg2Config {
+        frames,
+        engine,
+        ..Mpeg2Config::default()
+    };
+    let mut system = mpeg2_system(&config).elaborate().expect("model");
+    system.run().expect("run");
+    std::hint::black_box(system.now());
+}
+
+fn mpeg2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpeg2_soc");
+    group.sample_size(10);
+    for &frames in &[5u64, 15] {
+        group.bench_with_input(
+            BenchmarkId::new("procedure_call", frames),
+            &frames,
+            |b, &frames| b.iter(|| run(EngineKind::ProcedureCall, frames)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dedicated_thread", frames),
+            &frames,
+            |b, &frames| b.iter(|| run(EngineKind::DedicatedThread, frames)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mpeg2);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the §3.2 overhead model: the simulation cost of
+//! fixed versus formula overhead parameters (a formula is evaluated at
+//! every scheduling action, so its host cost matters for big sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtsim::policies::PriorityPreemptive;
+use rtsim::{EngineKind, OverheadSpec, Overheads, SimDuration, SystemModel, TaskConfig};
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_us(v)
+}
+
+fn run(overheads: Overheads) {
+    let mut model = SystemModel::new("overhead_bench");
+    model.software_processor_with(
+        "CPU",
+        Box::new(PriorityPreemptive::new()),
+        overheads,
+        true,
+        EngineKind::ProcedureCall,
+    );
+    for i in 0..6u64 {
+        let name = format!("t{i}");
+        model.periodic_function(
+            TaskConfig::new(&name).priority(6 - i as u32),
+            us(500 + 100 * i),
+            us(30),
+            50,
+        );
+        model.map_to_processor(&name, "CPU");
+    }
+    let mut system = model.elaborate().expect("model");
+    system.run().expect("run");
+    std::hint::black_box(system.now());
+}
+
+fn overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_model");
+    group.sample_size(10);
+    group.bench_function("zero", |b| b.iter(|| run(Overheads::zero())));
+    group.bench_function("fixed_5us", |b| b.iter(|| run(Overheads::uniform(us(5)))));
+    group.bench_function("formula_per_ready", |b| {
+        b.iter(|| {
+            run(Overheads {
+                context_save: OverheadSpec::fixed(us(2)),
+                scheduling: OverheadSpec::formula(|v| us(1) * v.ready_tasks as u64),
+                context_load: OverheadSpec::fixed(us(2)),
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+criterion_main!(benches);

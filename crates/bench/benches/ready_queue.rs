@@ -1,0 +1,50 @@
+//! Micro-bench of the scheduling policies' election step over growing
+//! ready queues — the ablation for the DESIGN.md note on ready-queue
+//! handling (snapshot + scan per decision).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsim::policies::{EarliestDeadlineFirst, Fifo, PriorityPreemptive, RoundRobin};
+use rtsim::{Priority, SchedulingPolicy, SimDuration, SimTime, TaskId};
+use rtsim::core::policy::{PolicyView, TaskView};
+
+fn make_ready(n: usize) -> Vec<TaskView> {
+    (0..n)
+        .map(|i| TaskView {
+            id: TaskId::from_raw(i as u32),
+            priority: Priority((i as u32 * 7) % 97),
+            period: Some(SimDuration::from_us(100 + i as u64)),
+            absolute_deadline: Some(SimTime::from_ps(1_000_000 + i as u64 * 131)),
+            enqueued_at: SimTime::from_ps(i as u64),
+            enqueue_seq: i as u64,
+        })
+        .collect()
+}
+
+fn ready_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select");
+    for &n in &[4usize, 16, 64, 256] {
+        let ready = make_ready(n);
+        let policies: Vec<(&str, Box<dyn SchedulingPolicy>)> = vec![
+            ("priority", Box::new(PriorityPreemptive::new())),
+            ("fifo", Box::new(Fifo::new())),
+            ("round_robin", Box::new(RoundRobin::new(SimDuration::from_us(10)))),
+            ("edf", Box::new(EarliestDeadlineFirst::new())),
+        ];
+        for (name, mut policy) in policies {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let view = PolicyView {
+                        now: SimTime::ZERO,
+                        ready: &ready,
+                        running: None,
+                    };
+                    std::hint::black_box(policy.select(&view))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ready_queue);
+criterion_main!(benches);

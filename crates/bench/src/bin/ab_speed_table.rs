@@ -1,0 +1,62 @@
+//! §4 speed comparison: simulation wall-clock duration of the
+//! dedicated-RTOS-thread model (approach A) versus the procedure-call
+//! model (approach B), swept over task count and scheduling-action count.
+//!
+//! The paper's claim: approach A "increases the simulation duration since
+//! there is a context switch for each call to the scheduler and each
+//! return, what is not the case when we use procedure calls". Expected
+//! shape: B wins everywhere, with the gap growing with the number of
+//! scheduling actions.
+//!
+//! Run with: `cargo run --release -p rtsim-bench --bin ab_speed_table`
+
+use rtsim::scenarios::ab_stress_system;
+use rtsim::EngineKind;
+use rtsim_bench::{fmt_wall, wall_time};
+
+fn run_once(engine: EngineKind, tasks: usize, rounds: u64) -> u64 {
+    let mut system = ab_stress_system(engine, tasks, rounds)
+        .elaborate()
+        .expect("model");
+    system.run().expect("run");
+    system.kernel_stats().process_switches
+}
+
+fn main() {
+    let runs = 3;
+    println!("== §4: simulation duration, dedicated thread (A) vs procedure calls (B) ==\n");
+    println!(
+        "{:>6} {:>8} | {:>12} {:>12} {:>9} | {:>11} {:>11}",
+        "tasks", "rounds", "A wall", "B wall", "B speedup", "A switches", "B switches"
+    );
+    for (tasks, rounds) in [
+        (2usize, 50u64),
+        (2, 500),
+        (4, 250),
+        (8, 125),
+        (8, 500),
+        (16, 250),
+        (32, 125),
+    ] {
+        let wall_a = wall_time(runs, || {
+            let _ = run_once(EngineKind::DedicatedThread, tasks, rounds);
+        });
+        let wall_b = wall_time(runs, || {
+            let _ = run_once(EngineKind::ProcedureCall, tasks, rounds);
+        });
+        let sw_a = run_once(EngineKind::DedicatedThread, tasks, rounds);
+        let sw_b = run_once(EngineKind::ProcedureCall, tasks, rounds);
+        println!(
+            "{:>6} {:>8} | {:>12} {:>12} {:>8.2}x | {:>11} {:>11}",
+            tasks,
+            rounds,
+            fmt_wall(wall_a),
+            fmt_wall(wall_b),
+            wall_a.as_secs_f64() / wall_b.as_secs_f64(),
+            sw_a,
+            sw_b
+        );
+    }
+    println!("\n(speedup > 1 means the procedure-call model simulates faster,");
+    println!("reproducing the optimization §4.2 of the paper reports)");
+}

@@ -1,0 +1,122 @@
+//! The paper's closing case study as a design-space exploration harness:
+//! the MPEG-2 compress/decompress SoC (18 tasks, 6 processing resources,
+//! 3 software processors with the RTOS model), swept over RTOS overheads,
+//! engine implementation and queue sizing.
+//!
+//! Run with: `cargo run --release -p rtsim-bench --bin mpeg2_explore`
+
+use rtsim::scenarios::{mpeg2_latencies, mpeg2_system, Mpeg2Config};
+use rtsim::{EngineKind, Overheads, SimDuration};
+use rtsim_bench::{fmt_wall, wall_time};
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_us(v)
+}
+
+struct Point {
+    label: String,
+    config: Mpeg2Config,
+}
+
+fn main() {
+    let base = Mpeg2Config {
+        frames: 20,
+        engine: EngineKind::ProcedureCall,
+        overheads: Overheads::uniform(us(5)),
+        frame_period: us(4_000),
+        queue_capacity: 4,
+    };
+    let points = vec![
+        Point {
+            label: "baseline (5us ovh, cap 4)".into(),
+            config: base.clone(),
+        },
+        Point {
+            label: "ideal RTOS (0 ovh)".into(),
+            config: Mpeg2Config {
+                overheads: Overheads::zero(),
+                ..base.clone()
+            },
+        },
+        Point {
+            label: "slow RTOS (25us ovh)".into(),
+            config: Mpeg2Config {
+                overheads: Overheads::uniform(us(25)),
+                ..base.clone()
+            },
+        },
+        Point {
+            label: "shallow queues (cap 1)".into(),
+            config: Mpeg2Config {
+                queue_capacity: 1,
+                ..base.clone()
+            },
+        },
+        Point {
+            label: "deep queues (cap 16)".into(),
+            config: Mpeg2Config {
+                queue_capacity: 16,
+                ..base.clone()
+            },
+        },
+        Point {
+            label: "faster camera (3ms)".into(),
+            config: Mpeg2Config {
+                frame_period: us(3_000),
+                ..base.clone()
+            },
+        },
+        Point {
+            label: "dedicated-thread engine".into(),
+            config: Mpeg2Config {
+                engine: EngineKind::DedicatedThread,
+                ..base.clone()
+            },
+        },
+    ];
+
+    println!("== MPEG-2 SoC design-space exploration (20 frames) ==\n");
+    println!(
+        "{:<26} {:>11} {:>11} {:>11} {:>12} {:>10}",
+        "configuration", "avg lat", "max lat", "makespan", "preemptions", "wall"
+    );
+    for point in &points {
+        let config = point.config.clone();
+        let mut latencies = Vec::new();
+        let mut makespan = SimDuration::ZERO;
+        let mut preemptions = 0u64;
+        let wall = wall_time(2, || {
+            let mut system = mpeg2_system(&config).elaborate().expect("model");
+            system.run().expect("run");
+            latencies = mpeg2_latencies(&system.trace());
+            makespan = system.now().since_start();
+            preemptions = ["CPU0", "CPU1", "CPU2"]
+                .iter()
+                .map(|c| system.processor_stats(c).map_or(0, |s| s.preemptions))
+                .sum();
+        });
+        let avg = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>() / latencies.len() as f64
+        };
+        let max = latencies
+            .iter()
+            .map(|l| l.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<26} {:>9.0}us {:>9.0}us {:>9.0}us {:>12} {:>10}",
+            point.label,
+            avg * 1e6,
+            max * 1e6,
+            makespan.as_secs_f64() * 1e6,
+            preemptions,
+            fmt_wall(wall)
+        );
+    }
+    println!("\n(the numbers a designer extracts before committing the SoC:");
+    println!("RTOS overhead stretches latency; a faster camera shortens the");
+    println!("makespan but raises contention (more preemptions); queue depth is");
+    println!("immaterial at this utilization — every stage outruns the camera —");
+    println!("and the engine choice changes wall-clock cost, not results)");
+}

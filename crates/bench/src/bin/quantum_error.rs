@@ -1,0 +1,102 @@
+//! The baseline comparison behind the paper's contribution: reaction-time
+//! error of a clock-driven RTOS model versus the paper's time-accurate
+//! preemption.
+//!
+//! The paper dismisses the SpecC-style model because it "does not model
+//! RTOS preemption with enough time accuracy since its precision depends
+//! on the model's clock accuracy". This harness quantifies exactly that:
+//! random hardware interrupts against a busy processor, measuring how
+//! late the handler starts under various preemption quanta. The
+//! time-accurate model's error is identically zero; the quantized model's
+//! error is uniform in [0, quantum).
+//!
+//! Run with: `cargo run --release -p rtsim-bench --bin quantum_error`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtsim::{
+    spawn_interrupt_at, DurationSummary, Processor, ProcessorConfig, SimDuration, Simulator,
+    TaskConfig, TaskState, TraceRecorder, Waiter,
+};
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_us(v)
+}
+
+/// Reaction delay of a handler woken at `at` while a background task
+/// computes, under the given preemption quantum (`None` = accurate).
+fn reaction_delay(at: SimDuration, quantum: Option<SimDuration>) -> SimDuration {
+    let mut sim = Simulator::new();
+    let rec = TraceRecorder::new();
+    let mut config = ProcessorConfig::new("CPU");
+    if let Some(q) = quantum {
+        config = config.quantized_preemption(q);
+    }
+    let cpu = Processor::new(&mut sim, &rec, config);
+    let isr = cpu.spawn_task(&mut sim, TaskConfig::new("isr").priority(9), |t| {
+        t.suspend(false);
+        t.execute(us(5));
+    });
+    cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
+        t.execute(us(50_000));
+    });
+    spawn_interrupt_at(&mut sim, "irq", at, Waiter::Task(isr));
+    sim.run().unwrap();
+    let trace = rec.snapshot();
+    let actor = trace.actor_by_name("isr").expect("isr");
+    let started = trace
+        .records_for(actor)
+        .filter_map(|r| match r.data {
+            rtsim::trace::TraceData::State(TaskState::Running) => Some(r.at),
+            _ => None,
+        })
+        .last()
+        .expect("handler ran");
+    started.since_start() - at
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let samples = 100;
+    let offsets: Vec<SimDuration> = (0..samples)
+        .map(|_| us(rng.gen_range(1_000..40_000)))
+        .collect();
+
+    println!("== interrupt reaction error vs preemption model granularity ==\n");
+    println!("(the paper's model: zero error; clock-driven baseline: up to one quantum)\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "model", "min err", "mean err", "p95 err", "max err"
+    );
+    let configs: [(&str, Option<SimDuration>); 5] = [
+        ("time-accurate (paper)", None),
+        ("quantum 1us", Some(us(1))),
+        ("quantum 10us", Some(us(10))),
+        ("quantum 100us", Some(us(100))),
+        ("quantum 1000us", Some(us(1_000))),
+    ];
+    for (label, quantum) in configs {
+        let errors: Vec<SimDuration> = offsets
+            .iter()
+            .map(|&at| reaction_delay(at, quantum))
+            .collect();
+        let summary = DurationSummary::from_durations(errors).expect("samples");
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            summary.min.to_string(),
+            summary.mean.to_string(),
+            summary.p95.to_string(),
+            summary.max.to_string()
+        );
+        if quantum.is_none() {
+            assert_eq!(summary.max, SimDuration::ZERO, "accurate model must be exact");
+        } else if let Some(q) = quantum {
+            assert!(summary.max < q, "error bounded by one quantum");
+        }
+    }
+    println!("\n(this is Gerstlauer/Gajski's limitation the paper's §2 cites: the");
+    println!("clock-driven model's precision 'depends on the model's clock");
+    println!("accuracy', while the event-driven wait-with-timeout mechanism");
+    println!("reacts at the exact interrupt instant at no simulation cost)");
+}

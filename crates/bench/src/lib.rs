@@ -1,0 +1,62 @@
+//! Shared helpers for the `rtsim-bench` harness binaries and Criterion
+//! benches that regenerate the DATE 2004 paper's figures.
+//!
+//! The binaries (see `src/bin/`) print, as text, the information each
+//! paper figure conveys:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig3_fig5_switches` | Figures 3 & 5 — coroutine-switch schedules of the two RTOS model implementations |
+//! | `fig6_timeline` | Figure 6 — the annotated TimeLine chart |
+//! | `fig7_mutex` | Figure 7 — mutual-exclusion blocking and its remedies |
+//! | `fig8_stats` | Figure 8 — whole-run statistics |
+//! | `ab_speed_table` | §4 — simulation-duration comparison, approach A vs B |
+//! | `overhead_sweep` | §3.2 — fixed vs formula overhead parameters |
+//! | `mpeg2_explore` | §5 closing case study — design-space exploration |
+//! | `rta_vs_sim` | extension — Monte-Carlo cross-validation against exact response-time analysis |
+//! | `server_ablation` | extension — polling-server budget/period trade-off |
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock measurement of one closure, with a warm-up run.
+///
+/// Returns the mean wall time of `runs` timed executions.
+pub fn wall_time<F: FnMut()>(runs: u32, mut f: F) -> Duration {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    start.elapsed() / runs
+}
+
+/// Formats a wall duration in adaptive units.
+pub fn fmt_wall(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1} us", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_time_measures_something() {
+        let d = wall_time(2, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn fmt_wall_adapts_units() {
+        assert!(fmt_wall(Duration::from_secs(2)).ends_with(" s"));
+        assert!(fmt_wall(Duration::from_millis(5)).ends_with(" ms"));
+        assert!(fmt_wall(Duration::from_micros(50)).ends_with(" us"));
+    }
+}

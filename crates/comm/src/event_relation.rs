@@ -1,0 +1,229 @@
+//! The MCSE **event** relation: synchronization between functions.
+//!
+//! The paper (§2) models synchronization events with three memorization
+//! policies:
+//!
+//! - **fugitive** — no memorization, "like SystemC `sc_event`": a signal
+//!   with no waiter is lost;
+//! - **boolean** — one level of memorization: a signal sets a flag that
+//!   the next wait consumes;
+//! - **counter** — every signal increments a count; every wait consumes
+//!   one unit.
+//!
+//! Signalling a memorized event wakes at most one waiter per token;
+//! signalling a fugitive event wakes every current waiter (broadcast
+//! synchronization, as `sc_event::notify`).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtsim_core::agent::{Agent, Waiter};
+use rtsim_trace::{ActorKind, CommKind, TraceRecorder};
+
+/// Memorization policy of an [`RtEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EventPolicy {
+    /// No memory (SystemC `sc_event`); signals without waiters are lost.
+    #[default]
+    Fugitive,
+    /// One memorized signal (a flag).
+    Boolean,
+    /// Counted signals (a semaphore-like token count).
+    Counter,
+}
+
+impl fmt::Display for EventPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventPolicy::Fugitive => "fugitive",
+            EventPolicy::Boolean => "boolean",
+            EventPolicy::Counter => "counter",
+        };
+        f.write_str(s)
+    }
+}
+
+struct EvState {
+    policy: EventPolicy,
+    tokens: u64,
+    waiters: VecDeque<Waiter>,
+}
+
+/// A synchronization event between MCSE functions, usable across
+/// processors and between hardware and software.
+///
+/// Cloning yields another handle to the same event.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_comm::{EventPolicy, RtEvent};
+/// use rtsim_core::{Processor, ProcessorConfig, TaskConfig};
+/// use rtsim_kernel::{SimDuration, Simulator};
+/// use rtsim_trace::TraceRecorder;
+///
+/// # fn main() -> Result<(), rtsim_kernel::KernelError> {
+/// let mut sim = Simulator::new();
+/// let rec = TraceRecorder::new();
+/// let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+/// let ev = RtEvent::new(&rec, "Event_1", EventPolicy::Boolean);
+///
+/// let producer_ev = ev.clone();
+/// cpu.spawn_task(&mut sim, TaskConfig::new("producer").priority(5), move |t| {
+///     t.execute(SimDuration::from_us(10));
+///     producer_ev.signal(t);
+/// });
+/// cpu.spawn_task(&mut sim, TaskConfig::new("consumer").priority(3), move |t| {
+///     ev.wait(t);
+///     t.execute(SimDuration::from_us(5));
+/// });
+/// sim.run()?;
+/// assert_eq!(sim.now().as_us(), 15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct RtEvent {
+    state: Arc<Mutex<EvState>>,
+    actor: rtsim_trace::ActorId,
+    recorder: TraceRecorder,
+    name: Arc<str>,
+}
+
+impl RtEvent {
+    /// Creates an event relation with the given memorization policy.
+    pub fn new(recorder: &TraceRecorder, name: &str, policy: EventPolicy) -> Self {
+        let actor = recorder.register(name, ActorKind::Relation);
+        RtEvent {
+            state: Arc::new(Mutex::new(EvState {
+                policy,
+                tokens: 0,
+                waiters: VecDeque::new(),
+            })),
+            actor,
+            recorder: recorder.clone(),
+            name: Arc::from(name),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's trace actor.
+    pub fn actor(&self) -> rtsim_trace::ActorId {
+        self.actor
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> EventPolicy {
+        self.state.lock().policy
+    }
+
+    /// Number of memorized signals (always 0 for fugitive events).
+    pub fn pending(&self) -> u64 {
+        self.state.lock().tokens
+    }
+
+    /// Signals the event from `agent`.
+    ///
+    /// Fugitive: wakes every current waiter, remembers nothing. Boolean:
+    /// sets the flag (saturating) and wakes one waiter. Counter: adds a
+    /// token and wakes one waiter.
+    pub fn signal(&self, agent: &mut dyn Agent) {
+        self.recorder
+            .comm(agent.trace_actor(), agent.now(), self.actor, CommKind::Signal);
+        let to_wake: Vec<Waiter> = {
+            let mut st = self.state.lock();
+            match st.policy {
+                EventPolicy::Fugitive => st.waiters.drain(..).collect(),
+                EventPolicy::Boolean => {
+                    st.tokens = 1;
+                    st.waiters.pop_front().into_iter().collect()
+                }
+                EventPolicy::Counter => {
+                    st.tokens += 1;
+                    st.waiters.pop_front().into_iter().collect()
+                }
+            }
+        };
+        for waiter in to_wake {
+            waiter.wake(agent.kernel());
+        }
+    }
+
+    /// Blocks `agent` until the event is signalled (consuming one token
+    /// for memorized policies). Returns immediately if a token is already
+    /// memorized.
+    pub fn wait(&self, agent: &mut dyn Agent) {
+        loop {
+            let fugitive = {
+                let mut st = self.state.lock();
+                match st.policy {
+                    EventPolicy::Fugitive => {
+                        st.waiters.push_back(agent.waiter());
+                        true
+                    }
+                    EventPolicy::Boolean | EventPolicy::Counter => {
+                        if st.tokens > 0 {
+                            st.tokens -= 1;
+                            drop(st);
+                            self.recorder.comm(
+                                agent.trace_actor(),
+                                agent.now(),
+                                self.actor,
+                                CommKind::Read,
+                            );
+                            return;
+                        }
+                        st.waiters.push_back(agent.waiter());
+                        false
+                    }
+                }
+            };
+            agent.suspend(false);
+            if fugitive {
+                // For a fugitive event the wake *is* the signal.
+                self.recorder.comm(
+                    agent.trace_actor(),
+                    agent.now(),
+                    self.actor,
+                    CommKind::Read,
+                );
+                return;
+            }
+            // Memorized policies re-check: another task may have consumed
+            // the token between the wake and our dispatch.
+        }
+    }
+
+    /// Consumes a token without blocking; `true` on success. Always
+    /// `false` for fugitive events (they cannot be polled).
+    pub fn try_wait(&self, agent: &mut dyn Agent) -> bool {
+        let mut st = self.state.lock();
+        if st.policy != EventPolicy::Fugitive && st.tokens > 0 {
+            st.tokens -= 1;
+            drop(st);
+            self.recorder
+                .comm(agent.trace_actor(), agent.now(), self.actor, CommKind::Read);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl fmt::Debug for RtEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("RtEvent")
+            .field("name", &self.name)
+            .field("policy", &st.policy)
+            .field("tokens", &st.tokens)
+            .field("waiters", &st.waiters.len())
+            .finish()
+    }
+}

@@ -1,0 +1,247 @@
+//! The MCSE **message queue** relation: producer/consumer message passing.
+//!
+//! A bounded FIFO whose capacity is a parameter (paper §2). Readers block
+//! on an empty queue, writers on a full one; both ends work from software
+//! tasks (blocking through the RTOS) and hardware functions (blocking on a
+//! kernel event), on the same or different processors — which is how the
+//! multi-processor examples (e.g. the MPEG-2 SoC) pass data between
+//! pipeline stages.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtsim_core::agent::{Agent, Waiter};
+use rtsim_trace::{ActorKind, CommKind, TraceRecorder};
+
+struct QState<T> {
+    buffer: VecDeque<T>,
+    capacity: usize,
+    readers: VecDeque<Waiter>,
+    writers: VecDeque<Waiter>,
+}
+
+/// A bounded, blocking message queue between MCSE functions.
+///
+/// Cloning yields another handle to the same queue.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_comm::MessageQueue;
+/// use rtsim_core::{Processor, ProcessorConfig, TaskConfig};
+/// use rtsim_kernel::{SimDuration, Simulator};
+/// use rtsim_trace::TraceRecorder;
+///
+/// # fn main() -> Result<(), rtsim_kernel::KernelError> {
+/// let mut sim = Simulator::new();
+/// let rec = TraceRecorder::new();
+/// let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+/// let q: MessageQueue<u32> = MessageQueue::new(&rec, "frames", 4);
+///
+/// let tx = q.clone();
+/// cpu.spawn_task(&mut sim, TaskConfig::new("producer").priority(5), move |t| {
+///     for frame in 0..3 {
+///         t.execute(SimDuration::from_us(10));
+///         tx.write(t, frame);
+///     }
+/// });
+/// cpu.spawn_task(&mut sim, TaskConfig::new("consumer").priority(3), move |t| {
+///     for expected in 0..3 {
+///         let frame = q.read(t);
+///         assert_eq!(frame, expected);
+///         t.execute(SimDuration::from_us(5));
+///     }
+/// });
+/// sim.run()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct MessageQueue<T> {
+    state: Arc<Mutex<QState<T>>>,
+    actor: rtsim_trace::ActorId,
+    recorder: TraceRecorder,
+    name: Arc<str>,
+}
+
+impl<T> Clone for MessageQueue<T> {
+    fn clone(&self) -> Self {
+        MessageQueue {
+            state: Arc::clone(&self.state),
+            actor: self.actor,
+            recorder: self.recorder.clone(),
+            name: Arc::clone(&self.name),
+        }
+    }
+}
+
+impl<T: Send> MessageQueue<T> {
+    /// Creates a queue holding at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — use [`Rendezvous`](crate::Rendezvous)
+    /// for unbuffered, fully synchronizing transfers.
+    pub fn new(recorder: &TraceRecorder, name: &str, capacity: usize) -> Self {
+        assert!(capacity > 0, "message queue capacity must be positive");
+        let actor = recorder.register(name, ActorKind::Relation);
+        MessageQueue {
+            state: Arc::new(Mutex::new(QState {
+                buffer: VecDeque::with_capacity(capacity),
+                capacity,
+                readers: VecDeque::new(),
+                writers: VecDeque::new(),
+            })),
+            actor,
+            recorder: recorder.clone(),
+            name: Arc::from(name),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's trace actor.
+    pub fn actor(&self) -> rtsim_trace::ActorId {
+        self.actor
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().capacity
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().buffer.len()
+    }
+
+    /// Returns `true` if no message is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `message`, blocking while the queue is full.
+    pub fn write(&self, agent: &mut dyn Agent, message: T) {
+        let mut message = Some(message);
+        loop {
+            let wake = {
+                let mut st = self.state.lock();
+                if st.buffer.len() < st.capacity {
+                    st.buffer.push_back(message.take().expect("message present"));
+                    let depth = st.buffer.len();
+                    let cap = st.capacity;
+                    let reader = st.readers.pop_front();
+                    drop(st);
+                    let now = agent.now();
+                    self.recorder
+                        .comm(agent.trace_actor(), now, self.actor, CommKind::Write);
+                    self.recorder.queue_depth(self.actor, now, depth, cap);
+                    reader
+                } else {
+                    st.writers.push_back(agent.waiter());
+                    drop(st);
+                    agent.suspend(false);
+                    continue;
+                }
+            };
+            if let Some(w) = wake {
+                w.wake(agent.kernel());
+            }
+            return;
+        }
+    }
+
+    /// Removes the oldest message, blocking while the queue is empty.
+    pub fn read(&self, agent: &mut dyn Agent) -> T {
+        loop {
+            let (message, wake) = {
+                let mut st = self.state.lock();
+                match st.buffer.pop_front() {
+                    Some(m) => {
+                        let depth = st.buffer.len();
+                        let cap = st.capacity;
+                        let writer = st.writers.pop_front();
+                        drop(st);
+                        let now = agent.now();
+                        self.recorder
+                            .comm(agent.trace_actor(), now, self.actor, CommKind::Read);
+                        self.recorder.queue_depth(self.actor, now, depth, cap);
+                        (m, writer)
+                    }
+                    None => {
+                        st.readers.push_back(agent.waiter());
+                        drop(st);
+                        agent.suspend(false);
+                        continue;
+                    }
+                }
+            };
+            if let Some(w) = wake {
+                w.wake(agent.kernel());
+            }
+            return message;
+        }
+    }
+
+    /// Appends without blocking; returns the message back on a full queue.
+    pub fn try_write(&self, agent: &mut dyn Agent, message: T) -> Result<(), T> {
+        let wake = {
+            let mut st = self.state.lock();
+            if st.buffer.len() >= st.capacity {
+                return Err(message);
+            }
+            st.buffer.push_back(message);
+            let depth = st.buffer.len();
+            let cap = st.capacity;
+            let reader = st.readers.pop_front();
+            drop(st);
+            let now = agent.now();
+            self.recorder
+                .comm(agent.trace_actor(), now, self.actor, CommKind::Write);
+            self.recorder.queue_depth(self.actor, now, depth, cap);
+            reader
+        };
+        if let Some(w) = wake {
+            w.wake(agent.kernel());
+        }
+        Ok(())
+    }
+
+    /// Removes the oldest message without blocking.
+    pub fn try_read(&self, agent: &mut dyn Agent) -> Option<T> {
+        let (message, wake) = {
+            let mut st = self.state.lock();
+            let m = st.buffer.pop_front()?;
+            let depth = st.buffer.len();
+            let cap = st.capacity;
+            let writer = st.writers.pop_front();
+            drop(st);
+            let now = agent.now();
+            self.recorder
+                .comm(agent.trace_actor(), now, self.actor, CommKind::Read);
+            self.recorder.queue_depth(self.actor, now, depth, cap);
+            (m, writer)
+        };
+        if let Some(w) = wake {
+            w.wake(agent.kernel());
+        }
+        Some(message)
+    }
+}
+
+impl<T> fmt::Debug for MessageQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("MessageQueue")
+            .field("name", &self.name)
+            .field("depth", &st.buffer.len())
+            .field("capacity", &st.capacity)
+            .field("blocked_readers", &st.readers.len())
+            .field("blocked_writers", &st.writers.len())
+            .finish()
+    }
+}

@@ -1,0 +1,180 @@
+//! Rendezvous (unbuffered) message passing.
+//!
+//! The paper's message queue carries a *capacity* parameter; the
+//! degenerate capacity-zero point is the classic **rendezvous**: a write
+//! blocks until a reader takes the message, and a read blocks until a
+//! writer offers one — both sides synchronize at the transfer instant
+//! (Ada rendezvous / CSP channel semantics). [`MessageQueue`] rejects
+//! capacity 0 and points here instead.
+//!
+//! [`MessageQueue`]: crate::MessageQueue
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtsim_core::agent::{Agent, Waiter};
+use rtsim_trace::{ActorKind, CommKind, TraceRecorder};
+
+struct RvState<T> {
+    /// The in-flight message and the writer to acknowledge on take-over.
+    slot: Option<(T, Waiter)>,
+    readers: VecDeque<Waiter>,
+    writers: VecDeque<Waiter>,
+}
+
+/// An unbuffered, fully synchronizing channel between MCSE functions.
+///
+/// Cloning yields another handle to the same channel. Multiple writers
+/// and readers are served first-come-first-served.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_comm::Rendezvous;
+/// use rtsim_core::{Processor, ProcessorConfig, TaskConfig};
+/// use rtsim_kernel::{SimDuration, Simulator};
+/// use rtsim_trace::TraceRecorder;
+///
+/// # fn main() -> Result<(), rtsim_kernel::KernelError> {
+/// let mut sim = Simulator::new();
+/// let rec = TraceRecorder::new();
+/// let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+/// let rv: Rendezvous<u32> = Rendezvous::new(&rec, "handoff");
+///
+/// let tx = rv.clone();
+/// cpu.spawn_task(&mut sim, TaskConfig::new("offer").priority(2), move |t| {
+///     tx.write(t, 7); // blocks until `take` reads, at 100 µs
+///     assert_eq!(t.now().as_us(), 100);
+/// });
+/// cpu.spawn_task(&mut sim, TaskConfig::new("take").priority(1), move |t| {
+///     t.delay(SimDuration::from_us(100));
+///     assert_eq!(rv.read(t), 7);
+/// });
+/// sim.run()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Rendezvous<T> {
+    state: Arc<Mutex<RvState<T>>>,
+    actor: rtsim_trace::ActorId,
+    recorder: TraceRecorder,
+    name: Arc<str>,
+}
+
+impl<T> Clone for Rendezvous<T> {
+    fn clone(&self) -> Self {
+        Rendezvous {
+            state: Arc::clone(&self.state),
+            actor: self.actor,
+            recorder: self.recorder.clone(),
+            name: Arc::clone(&self.name),
+        }
+    }
+}
+
+impl<T: Send> Rendezvous<T> {
+    /// Creates a rendezvous channel.
+    pub fn new(recorder: &TraceRecorder, name: &str) -> Self {
+        let actor = recorder.register(name, ActorKind::Relation);
+        Rendezvous {
+            state: Arc::new(Mutex::new(RvState {
+                slot: None,
+                readers: VecDeque::new(),
+                writers: VecDeque::new(),
+            })),
+            actor,
+            recorder: recorder.clone(),
+            name: Arc::from(name),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's trace actor.
+    pub fn actor(&self) -> rtsim_trace::ActorId {
+        self.actor
+    }
+
+    /// Offers `message` and blocks until a reader takes it.
+    pub fn write(&self, agent: &mut dyn Agent, message: T) {
+        let mut message = Some(message);
+        loop {
+            let reader = {
+                let mut st = self.state.lock();
+                if st.slot.is_none() {
+                    st.slot = Some((message.take().expect("message present"), agent.waiter()));
+                    st.readers.pop_front()
+                } else {
+                    // Another writer is mid-handshake: queue up.
+                    st.writers.push_back(agent.waiter());
+                    None
+                }
+            };
+            match (&message, reader) {
+                (None, maybe_reader) => {
+                    self.recorder
+                        .comm(agent.trace_actor(), agent.now(), self.actor, CommKind::Write);
+                    if let Some(r) = maybe_reader {
+                        r.wake(agent.kernel());
+                    }
+                    // Block until the reader acknowledges the take-over.
+                    agent.suspend(false);
+                    return;
+                }
+                (Some(_), _) => {
+                    agent.suspend(false);
+                    // Retry: the slot freed up.
+                }
+            }
+        }
+    }
+
+    /// Blocks until a writer offers a message and takes it, releasing the
+    /// writer at the same instant.
+    pub fn read(&self, agent: &mut dyn Agent) -> T {
+        loop {
+            let taken = {
+                let mut st = self.state.lock();
+                match st.slot.take() {
+                    Some((message, writer)) => {
+                        let next_writer = st.writers.pop_front();
+                        Some((message, writer, next_writer))
+                    }
+                    None => {
+                        st.readers.push_back(agent.waiter());
+                        None
+                    }
+                }
+            };
+            match taken {
+                Some((message, writer, next_writer)) => {
+                    self.recorder
+                        .comm(agent.trace_actor(), agent.now(), self.actor, CommKind::Read);
+                    writer.wake(agent.kernel());
+                    if let Some(w) = next_writer {
+                        w.wake(agent.kernel());
+                    }
+                    return message;
+                }
+                None => agent.suspend(false),
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for Rendezvous<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Rendezvous")
+            .field("name", &self.name)
+            .field("offer_pending", &st.slot.is_some())
+            .field("blocked_readers", &st.readers.len())
+            .field("blocked_writers", &st.writers.len())
+            .finish()
+    }
+}

@@ -1,0 +1,302 @@
+//! The MCSE **shared variable** relation: data sharing under mutual
+//! exclusion.
+//!
+//! "It exchanges data without any synchronization except mutual exclusion"
+//! (paper §2). Accesses take CPU time while holding the lock, which is how
+//! the paper's Figure 7 scenario arises: `Function_3` is preempted *inside*
+//! a read of `SharedVar_1`, `Function_2` then blocks on the resource, and
+//! on release is scheduled first — a bounded priority inversion.
+//!
+//! The paper proposes disabling preemption during the access as the fix
+//! ([`LockMode::PreemptionMasked`]); we additionally provide the classic
+//! priority-inheritance protocol ([`LockMode::PriorityInheritance`]) and
+//! the immediate priority ceiling ([`LockMode::PriorityCeiling`]) as
+//! extensions.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtsim_core::agent::{Agent, Waiter};
+use rtsim_core::{Priority, TaskHandle};
+use rtsim_kernel::SimDuration;
+use rtsim_trace::{ActorKind, CommKind, TraceRecorder};
+
+/// How a [`SharedVar`] protects its critical sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LockMode {
+    /// Plain mutual exclusion: the Figure 7 priority inversion is
+    /// observable.
+    #[default]
+    Plain,
+    /// Preemption is disabled while the lock is held (the paper's
+    /// suggested fix: "disabling preemption during access to shared
+    /// data").
+    PreemptionMasked,
+    /// The owner inherits the highest priority among blocked tasks
+    /// (classic priority-inheritance protocol; extension).
+    PriorityInheritance,
+    /// Immediate priority ceiling ("highest locker"): a task acquiring
+    /// the variable is boosted to the given ceiling priority for the
+    /// whole critical section, so no task of priority up to the ceiling
+    /// can even start contending — blocking is prevented rather than
+    /// inherited away (OSEK/AUTOSAR-style; extension).
+    PriorityCeiling(Priority),
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Plain => f.write_str("plain"),
+            LockMode::PreemptionMasked => f.write_str("preemption-masked"),
+            LockMode::PriorityInheritance => f.write_str("priority-inheritance"),
+            LockMode::PriorityCeiling(ceiling) => {
+                write!(f, "priority-ceiling({})", ceiling.0)
+            }
+        }
+    }
+}
+
+struct VState<T> {
+    value: T,
+    held: bool,
+    owner: Option<TaskHandle>,
+    owner_base_priority: Option<Priority>,
+    waiters: VecDeque<Waiter>,
+}
+
+/// A shared variable with mutual exclusion, connecting MCSE functions.
+///
+/// Cloning yields another handle to the same variable.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_comm::{LockMode, SharedVar};
+/// use rtsim_core::{Processor, ProcessorConfig, TaskConfig};
+/// use rtsim_kernel::{SimDuration, Simulator};
+/// use rtsim_trace::TraceRecorder;
+///
+/// # fn main() -> Result<(), rtsim_kernel::KernelError> {
+/// let mut sim = Simulator::new();
+/// let rec = TraceRecorder::new();
+/// let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+/// let var = SharedVar::new(&rec, "SharedVar_1", 0u32, LockMode::Plain);
+///
+/// let writer = var.clone();
+/// cpu.spawn_task(&mut sim, TaskConfig::new("writer").priority(5), move |t| {
+///     writer.write_for(t, SimDuration::from_us(10), 42);
+/// });
+/// cpu.spawn_task(&mut sim, TaskConfig::new("reader").priority(3), move |t| {
+///     let v = var.read_for(t, SimDuration::from_us(10));
+///     assert_eq!(v, 42);
+/// });
+/// sim.run()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct SharedVar<T> {
+    state: Arc<Mutex<VState<T>>>,
+    mode: LockMode,
+    actor: rtsim_trace::ActorId,
+    recorder: TraceRecorder,
+    name: Arc<str>,
+}
+
+impl<T> Clone for SharedVar<T> {
+    fn clone(&self) -> Self {
+        SharedVar {
+            state: Arc::clone(&self.state),
+            mode: self.mode,
+            actor: self.actor,
+            recorder: self.recorder.clone(),
+            name: Arc::clone(&self.name),
+        }
+    }
+}
+
+impl<T: Clone + Send> SharedVar<T> {
+    /// Creates a shared variable with the given initial value and
+    /// protection mode.
+    pub fn new(recorder: &TraceRecorder, name: &str, initial: T, mode: LockMode) -> Self {
+        let actor = recorder.register(name, ActorKind::Relation);
+        SharedVar {
+            state: Arc::new(Mutex::new(VState {
+                value: initial,
+                held: false,
+                owner: None,
+                owner_base_priority: None,
+                waiters: VecDeque::new(),
+            })),
+            mode,
+            actor,
+            recorder: recorder.clone(),
+            name: Arc::from(name),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's trace actor.
+    pub fn actor(&self) -> rtsim_trace::ActorId {
+        self.actor
+    }
+
+    /// The protection mode.
+    pub fn mode(&self) -> LockMode {
+        self.mode
+    }
+
+    /// Acquires the lock, blocking in the waiting-for-resource state if
+    /// another agent holds it.
+    fn acquire(&self, agent: &mut dyn Agent) {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if !st.held {
+                    st.held = true;
+                    if let Waiter::Task(handle) = agent.waiter() {
+                        st.owner_base_priority = Some(handle.priority());
+                        // Immediate priority ceiling: boost for the whole
+                        // critical section, before any contender appears.
+                        if let LockMode::PriorityCeiling(ceiling) = self.mode {
+                            if ceiling > handle.priority() {
+                                handle.set_priority(ceiling);
+                            }
+                        }
+                        st.owner = Some(handle);
+                    }
+                    drop(st);
+                    self.recorder.resource_held(self.actor, agent.now(), true);
+                    if self.mode == LockMode::PreemptionMasked {
+                        agent.lock_preemption();
+                    }
+                    return;
+                }
+                // Priority inheritance: boost the owner if we outrank it.
+                if self.mode == LockMode::PriorityInheritance {
+                    if let (Some(owner), Waiter::Task(me)) = (&st.owner, agent.waiter()) {
+                        if me.priority() > owner.priority() {
+                            owner.set_priority(me.priority());
+                        }
+                    }
+                }
+                st.waiters.push_back(agent.waiter());
+            }
+            agent.suspend(true);
+        }
+    }
+
+    /// Releases the lock and wakes the next waiter.
+    fn release(&self, agent: &mut dyn Agent) {
+        let next = {
+            let mut st = self.state.lock();
+            debug_assert!(st.held, "release of a free shared variable");
+            st.held = false;
+            // Restore the owner's base priority (inheritance or ceiling).
+            if matches!(
+                self.mode,
+                LockMode::PriorityInheritance | LockMode::PriorityCeiling(_)
+            ) {
+                if let (Some(owner), Some(base)) = (&st.owner, st.owner_base_priority) {
+                    owner.set_priority(base);
+                }
+            }
+            st.owner = None;
+            st.owner_base_priority = None;
+            st.waiters.pop_front()
+        };
+        self.recorder.resource_held(self.actor, agent.now(), false);
+        if let Some(w) = next {
+            w.wake(agent.kernel());
+        }
+        match self.mode {
+            LockMode::PreemptionMasked => {
+                // Leaving the critical region may preempt us on the spot
+                // if the woken waiter outranks us.
+                agent.unlock_preemption();
+            }
+            LockMode::PriorityCeiling(_) => {
+                // The caller just dropped back to its base priority: a
+                // ready task it was shielding may now outrank it.
+                agent.reschedule();
+            }
+            LockMode::Plain | LockMode::PriorityInheritance => {}
+        }
+    }
+
+    /// Runs `body` with the lock held, giving it the agent and the value.
+    /// The body may consume CPU time (`agent.execute(..)`) to model the
+    /// access duration.
+    pub fn with_lock<R>(&self, agent: &mut dyn Agent, body: impl FnOnce(&mut dyn Agent, &mut T) -> R) -> R {
+        self.acquire(agent);
+        // The kernel's one-runner discipline makes this re-lock safe: no
+        // other agent can touch the value while we hold the model lock.
+        let mut value = {
+            let st = self.state.lock();
+            st.value.clone()
+        };
+        let result = body(agent, &mut value);
+        {
+            let mut st = self.state.lock();
+            st.value = value;
+        }
+        self.release(agent);
+        result
+    }
+
+    /// Reads the value instantaneously (still subject to mutual
+    /// exclusion).
+    pub fn read(&self, agent: &mut dyn Agent) -> T {
+        self.read_for(agent, SimDuration::ZERO)
+    }
+
+    /// Reads the value, consuming `duration` of CPU time while holding
+    /// the lock — the shape of the paper's Figure 7 read operation.
+    pub fn read_for(&self, agent: &mut dyn Agent, duration: SimDuration) -> T {
+        let value = self.with_lock(agent, |agent, value| {
+            if !duration.is_zero() {
+                agent.execute(duration);
+            }
+            value.clone()
+        });
+        self.recorder
+            .comm(agent.trace_actor(), agent.now(), self.actor, CommKind::Read);
+        value
+    }
+
+    /// Writes the value instantaneously (still subject to mutual
+    /// exclusion).
+    pub fn write(&self, agent: &mut dyn Agent, value: T) {
+        self.write_for(agent, SimDuration::ZERO, value);
+    }
+
+    /// Writes the value, consuming `duration` of CPU time while holding
+    /// the lock.
+    pub fn write_for(&self, agent: &mut dyn Agent, duration: SimDuration, value: T) {
+        self.with_lock(agent, |agent, slot| {
+            if !duration.is_zero() {
+                agent.execute(duration);
+            }
+            *slot = value;
+        });
+        self.recorder
+            .comm(agent.trace_actor(), agent.now(), self.actor, CommKind::Write);
+    }
+}
+
+impl<T> fmt::Debug for SharedVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SharedVar")
+            .field("name", &self.name)
+            .field("mode", &self.mode)
+            .field("held", &st.held)
+            .field("waiters", &st.waiters.len())
+            .finish()
+    }
+}

@@ -1,0 +1,303 @@
+//! The [`Agent`] abstraction: MCSE function bodies independent of their
+//! mapping.
+//!
+//! The MCSE methodology the paper builds on describes a system as
+//! *functions* connected by relations, and then explores mapping each
+//! function onto a software processor (serialized by the RTOS) or onto
+//! hardware (fully concurrent). Writing function bodies against
+//! `&mut dyn Agent` makes the body mapping-agnostic: `execute` costs
+//! preemptible CPU time on a SW processor but plain wall simulation time
+//! in hardware, `suspend`/wake go through the RTOS or through a raw
+//! kernel event, and so on. The `rtsim-comm` relations are written against
+//! this trait, so a queue can connect a HW producer to a SW consumer
+//! unchanged.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rtsim_kernel::{Event, ProcessContext, SimDuration, SimTime, Simulator};
+use rtsim_trace::{ActorId, ActorKind, TaskState, TraceRecorder};
+
+use crate::processor::{TaskCtx, TaskHandle};
+
+/// How to wake a suspended agent from another simulation process.
+///
+/// For a task this goes through the RTOS (`TaskIsReady`, possibly
+/// preempting); for a hardware function it is a raw kernel notification
+/// with a latch so a wake issued before the suspend is not lost.
+#[derive(Clone)]
+pub enum Waiter {
+    /// Wake an RTOS task.
+    Task(TaskHandle),
+    /// Wake a hardware function.
+    Hw(HwWaker),
+}
+
+impl Waiter {
+    /// Wakes the agent. Must be called from within a simulation process
+    /// (`ctx` is the caller's kernel context). Idempotent.
+    pub fn wake(&self, ctx: &mut ProcessContext) {
+        match self {
+            Waiter::Task(handle) => handle.wake(ctx),
+            Waiter::Hw(waker) => waker.wake(ctx),
+        }
+    }
+}
+
+impl fmt::Debug for Waiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Waiter::Task(h) => write!(f, "Waiter::Task({})", h.name()),
+            Waiter::Hw(_) => f.write_str("Waiter::Hw"),
+        }
+    }
+}
+
+/// Latching waker for a hardware function: a wake that arrives while the
+/// function is not suspended is remembered until its next suspend.
+#[derive(Clone, Debug)]
+pub struct HwWaker {
+    event: Event,
+    pending: Arc<AtomicBool>,
+}
+
+impl HwWaker {
+    /// Wakes the hardware function (latched).
+    pub fn wake(&self, ctx: &mut ProcessContext) {
+        self.pending.store(true, Ordering::Release);
+        ctx.notify(self.event);
+    }
+}
+
+/// A behaviour's runtime context, independent of HW/SW mapping.
+///
+/// Implemented by [`TaskCtx`] (software task under the RTOS) and
+/// [`HwCtx`] (concurrent hardware function).
+pub trait Agent {
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+
+    /// Consumes `d` of computation time (preemptible on a SW processor;
+    /// plain elapsed time in hardware).
+    fn execute(&mut self, d: SimDuration);
+
+    /// Sleeps for `d` (releasing the CPU on a SW processor).
+    fn delay(&mut self, d: SimDuration);
+
+    /// Blocks until woken through this agent's [`Waiter`]. `resource`
+    /// selects the waiting-for-resource trace state.
+    fn suspend(&mut self, resource: bool);
+
+    /// How other processes wake this agent.
+    fn waiter(&self) -> Waiter;
+
+    /// This agent's trace actor.
+    fn trace_actor(&self) -> ActorId;
+
+    /// The trace recorder in use.
+    fn recorder(&self) -> &TraceRecorder;
+
+    /// The raw kernel context (for notifications issued on this agent's
+    /// behalf).
+    fn kernel(&mut self) -> &mut ProcessContext;
+
+    /// Enters a critical region (no-op in hardware).
+    fn lock_preemption(&mut self) {}
+
+    /// Leaves a critical region (no-op in hardware).
+    fn unlock_preemption(&mut self) {}
+
+    /// Forces a scheduling decision if more urgent work became eligible
+    /// through a priority change (no-op in hardware).
+    fn reschedule(&mut self) {}
+
+    /// Annotates the trace at the current instant — the anchor for
+    /// TimeLine measurements and reaction-time constraints.
+    fn annotate(&mut self, label: &str) {
+        let now = self.now();
+        let actor = self.trace_actor();
+        self.recorder().annotate(actor, now, label);
+    }
+}
+
+impl Agent for TaskCtx<'_> {
+    fn now(&self) -> SimTime {
+        TaskCtx::now(self)
+    }
+
+    fn execute(&mut self, d: SimDuration) {
+        TaskCtx::execute(self, d);
+    }
+
+    fn delay(&mut self, d: SimDuration) {
+        TaskCtx::delay(self, d);
+    }
+
+    fn suspend(&mut self, resource: bool) {
+        TaskCtx::suspend(self, resource);
+    }
+
+    fn waiter(&self) -> Waiter {
+        Waiter::Task(self.handle())
+    }
+
+    fn trace_actor(&self) -> ActorId {
+        self.actor()
+    }
+
+    fn recorder(&self) -> &TraceRecorder {
+        TaskCtx::recorder(self)
+    }
+
+    fn kernel(&mut self) -> &mut ProcessContext {
+        TaskCtx::kernel(self)
+    }
+
+    fn lock_preemption(&mut self) {
+        TaskCtx::lock_preemption(self);
+    }
+
+    fn unlock_preemption(&mut self) {
+        TaskCtx::unlock_preemption(self);
+    }
+
+    fn reschedule(&mut self) {
+        TaskCtx::reschedule(self);
+    }
+}
+
+/// The runtime context of a hardware function: fully concurrent, no RTOS.
+///
+/// Created by [`spawn_hw_function`].
+pub struct HwCtx<'a> {
+    kctx: &'a mut ProcessContext,
+    waker: HwWaker,
+    actor: ActorId,
+    recorder: TraceRecorder,
+}
+
+impl HwCtx<'_> {
+    /// Annotates the trace at the current instant.
+    pub fn annotate(&mut self, label: &str) {
+        let now = self.kctx.now();
+        self.recorder.annotate(self.actor, now, label);
+    }
+}
+
+impl fmt::Debug for HwCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HwCtx")
+            .field("actor", &self.actor)
+            .field("now", &self.kctx.now())
+            .finish()
+    }
+}
+
+impl Agent for HwCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.kctx.now()
+    }
+
+    fn execute(&mut self, d: SimDuration) {
+        // Hardware is fully concurrent: computing is just elapsed time.
+        self.kctx.wait_for(d);
+    }
+
+    fn delay(&mut self, d: SimDuration) {
+        let now = self.kctx.now();
+        self.recorder.state(self.actor, now, TaskState::Waiting);
+        self.kctx.wait_for(d);
+        let now = self.kctx.now();
+        self.recorder.state(self.actor, now, TaskState::Running);
+    }
+
+    fn suspend(&mut self, resource: bool) {
+        let state = if resource {
+            TaskState::WaitingResource
+        } else {
+            TaskState::Waiting
+        };
+        let now = self.kctx.now();
+        self.recorder.state(self.actor, now, state);
+        while !self.waker.pending.swap(false, Ordering::AcqRel) {
+            self.kctx.wait_event(self.waker.event);
+        }
+        let now = self.kctx.now();
+        self.recorder.state(self.actor, now, TaskState::Running);
+    }
+
+    fn waiter(&self) -> Waiter {
+        Waiter::Hw(self.waker.clone())
+    }
+
+    fn trace_actor(&self) -> ActorId {
+        self.actor
+    }
+
+    fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    fn kernel(&mut self) -> &mut ProcessContext {
+        self.kctx
+    }
+}
+
+/// Spawns a hardware function: a fully concurrent behaviour outside any
+/// RTOS (the paper's `Clock` in Figure 6 is one).
+///
+/// The body runs once from time zero; periodic stimuli loop internally.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_core::{spawn_hw_function, Agent};
+/// use rtsim_kernel::{SimDuration, Simulator};
+/// use rtsim_trace::TraceRecorder;
+///
+/// # fn main() -> Result<(), rtsim_kernel::KernelError> {
+/// let mut sim = Simulator::new();
+/// let rec = TraceRecorder::new();
+/// spawn_hw_function(&mut sim, &rec, "Clock", |hw| {
+///     for _ in 0..3 {
+///         hw.delay(SimDuration::from_us(10));
+///     }
+/// });
+/// sim.run()?;
+/// assert_eq!(sim.now().as_us(), 30);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spawn_hw_function<F>(
+    sim: &mut Simulator,
+    recorder: &TraceRecorder,
+    name: &str,
+    body: F,
+) -> Waiter
+where
+    F: FnOnce(&mut HwCtx<'_>) + Send + 'static,
+{
+    let actor = recorder.register(name, ActorKind::Task);
+    let event = sim.event(&format!("{name}.hw_wake"));
+    let waker = HwWaker {
+        event,
+        pending: Arc::new(AtomicBool::new(false)),
+    };
+    let recorder = recorder.clone();
+    let spawn_waker = waker.clone();
+    sim.spawn(name, move |ctx| {
+        recorder.state(actor, ctx.now(), TaskState::Created);
+        recorder.state(actor, ctx.now(), TaskState::Running);
+        let mut hw = HwCtx {
+            kctx: ctx,
+            waker: spawn_waker,
+            actor,
+            recorder: recorder.clone(),
+        };
+        body(&mut hw);
+        let now = hw.kctx.now();
+        recorder.state(actor, now, TaskState::Terminated);
+    });
+    Waiter::Hw(waker)
+}

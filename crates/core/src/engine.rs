@@ -1,0 +1,637 @@
+//! Shared RTOS engine machinery.
+//!
+//! Both implementation strategies of the paper's §4 — the dedicated RTOS
+//! thread (approach A, [`crate::thread_model`]) and the procedure-call
+//! model (approach B, [`crate::proc_model`]) — operate on the same shared
+//! state defined here, and the task-side primitives (`execute`, `delay`,
+//! `block`, ...) are written once against the small [`Engine`] trait that
+//! captures where the two approaches differ: *who runs the scheduler and
+//! consumes the RTOS overhead time*.
+//!
+//! # Time-accurate preemption
+//!
+//! [`execute`] implements the paper's headline mechanism: a computing task
+//! waits for its **remaining computation time or its preemption event,
+//! whichever comes first** (`wait_event_for`). On preemption the elapsed
+//! time is subtracted exactly — no quantum or clock granularity is
+//! involved, unlike the SpecC model the paper compares against.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtsim_kernel::{Event, ProcessContext, SimDuration, SimTime, Wake};
+use rtsim_trace::{ActorId, OverheadKind, TaskState, TraceRecorder};
+
+use crate::overhead::{Overheads, RtosView};
+use crate::policy::{PolicyView, SchedulingPolicy, TaskView};
+use crate::task::{TaskConfig, TaskId};
+
+/// Which of the paper's two RTOS model implementations a processor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// §4.2 — the RTOS is a passive object whose primitives run on the
+    /// calling task's coroutine. Fewer coroutine switches; the paper's
+    /// production choice and our default.
+    #[default]
+    ProcedureCall,
+    /// §4.1 — a dedicated RTOS coroutine woken by `RTKRun` performs all
+    /// scheduling. More switches, slower simulation; kept for the paper's
+    /// speed comparison.
+    DedicatedThread,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::ProcedureCall => f.write_str("procedure-call"),
+            EngineKind::DedicatedThread => f.write_str("dedicated-thread"),
+        }
+    }
+}
+
+/// Cumulative scheduler statistics for one processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Tasks dispatched (transitions into Running).
+    pub dispatches: u64,
+    /// Preemptions initiated (a ready task evicting the running one).
+    pub preemptions: u64,
+    /// Scheduler invocations (relinquish operations processed).
+    pub scheduler_runs: u64,
+    /// Round-robin quantum expirations.
+    pub quantum_expirations: u64,
+    /// Jobs that completed after their absolute deadline (tasks declaring
+    /// a relative deadline only). Each miss is also annotated in the
+    /// trace as `deadline_miss`.
+    pub deadline_misses: u64,
+}
+
+/// Kernel-facing bookkeeping for one task.
+pub(crate) struct TaskEntry {
+    pub config: TaskConfig,
+    pub state: TaskState,
+    pub run_event: Event,
+    pub preempt_event: Event,
+    /// The CPU has been granted; consumed by [`acquire`].
+    pub run_granted: bool,
+    /// A preemption was requested; consumed by [`execute`].
+    pub preempt_pending: bool,
+    /// Scheduling overhead this task must consume when it wakes (set on
+    /// idle dispatch in the procedure-call engine, where the awakened
+    /// task's coroutine pays for the scheduler run — Figure 5).
+    pub wake_sched: Option<SimDuration>,
+    /// Context-load overhead to consume on wake (Figure 5: "the thread of
+    /// the task which was awaked" executes the context load).
+    pub wake_load: Option<SimDuration>,
+    pub absolute_deadline: Option<SimTime>,
+    pub enqueued_at: SimTime,
+    pub enqueue_seq: u64,
+    /// When the task last entered Running (for time-slice accounting).
+    pub dispatched_at: SimTime,
+    pub actor: ActorId,
+}
+
+impl TaskEntry {
+    fn view(&self, id: TaskId) -> TaskView {
+        TaskView {
+            id,
+            priority: self.config.priority,
+            period: self.config.period,
+            absolute_deadline: self.absolute_deadline,
+            enqueued_at: self.enqueued_at,
+            enqueue_seq: self.enqueue_seq,
+        }
+    }
+}
+
+/// The mutable RTOS state shared by all tasks of one processor.
+pub(crate) struct RtosState {
+    pub name: String,
+    pub policy: Box<dyn SchedulingPolicy>,
+    pub overheads: Overheads,
+    /// `Some(q)`: preemption checked only at `q` boundaries (the clock-
+    /// driven baseline the paper argues against); `None`: time-accurate.
+    pub preemption_granularity: Option<SimDuration>,
+    pub preemptive: bool,
+    pub lock_depth: u32,
+    /// Initial dispatch performed; before this, ready tasks only queue.
+    pub started: bool,
+    pub tasks: Vec<TaskEntry>,
+    /// Ready queue in enqueue order; policies impose their own order.
+    pub ready: Vec<TaskId>,
+    pub running: Option<TaskId>,
+    /// The CPU is inside a save/scheduling overhead window; arrivals
+    /// queue and are seen by the pending scheduler pass.
+    pub in_overhead: bool,
+    pub enqueue_counter: u64,
+    pub recorder: TraceRecorder,
+    /// The processor's own trace actor (kept for processor-level records
+    /// from future extensions; tasks carry their own actors).
+    #[allow(dead_code)]
+    pub proc_actor: ActorId,
+    pub stats: SchedulerStats,
+}
+
+impl RtosState {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        policy: Box<dyn SchedulingPolicy>,
+        overheads: Overheads,
+        preemption_granularity: Option<SimDuration>,
+        preemptive: bool,
+        recorder: TraceRecorder,
+        proc_actor: ActorId,
+    ) -> Self {
+        RtosState {
+            name: name.to_owned(),
+            policy,
+            overheads,
+            preemption_granularity,
+            preemptive,
+            lock_depth: 0,
+            started: false,
+            tasks: Vec::new(),
+            ready: Vec::new(),
+            running: None,
+            in_overhead: false,
+            enqueue_counter: 0,
+            recorder,
+            proc_actor,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    pub fn add_task(
+        &mut self,
+        config: TaskConfig,
+        run_event: Event,
+        preempt_event: Event,
+        actor: ActorId,
+    ) -> TaskId {
+        let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
+        self.tasks.push(TaskEntry {
+            config,
+            state: TaskState::Created,
+            run_event,
+            preempt_event,
+            run_granted: false,
+            preempt_pending: false,
+            wake_sched: None,
+            wake_load: None,
+            absolute_deadline: None,
+            enqueued_at: SimTime::ZERO,
+            enqueue_seq: 0,
+            dispatched_at: SimTime::ZERO,
+            actor,
+        });
+        id
+    }
+
+    pub fn entry(&self, id: TaskId) -> &TaskEntry {
+        &self.tasks[id.index()]
+    }
+
+    pub fn entry_mut(&mut self, id: TaskId) -> &mut TaskEntry {
+        &mut self.tasks[id.index()]
+    }
+
+    pub fn rtos_view(&self, now: SimTime) -> RtosView {
+        RtosView {
+            ready_tasks: self.ready.len(),
+            total_tasks: self.tasks.len(),
+            now,
+        }
+    }
+
+    /// Builds the policy's view of the world: ready tasks in enqueue order
+    /// plus the running task.
+    fn snapshot(&self, now: SimTime) -> (Vec<TaskView>, Option<TaskView>) {
+        let mut ready: Vec<TaskView> = self
+            .ready
+            .iter()
+            .map(|&id| self.entry(id).view(id))
+            .collect();
+        ready.sort_by_key(|t| t.enqueue_seq);
+        let running = self.running.map(|id| self.entry(id).view(id));
+        let _ = now;
+        (ready, running)
+    }
+
+    /// Records and applies a task state change. Completing a job (entering
+    /// Waiting or Terminated) past the task's absolute deadline counts and
+    /// annotates a deadline miss.
+    pub fn set_task_state(&mut self, id: TaskId, now: SimTime, state: TaskState) {
+        let actor = self.entry(id).actor;
+        self.entry_mut(id).state = state;
+        self.recorder.state(actor, now, state);
+        if matches!(state, TaskState::Waiting | TaskState::Terminated) {
+            if let Some(deadline) = self.entry_mut(id).absolute_deadline.take() {
+                if now > deadline {
+                    self.stats.deadline_misses += 1;
+                    self.recorder.annotate(actor, now, "deadline_miss");
+                }
+            }
+        }
+    }
+
+    /// Marks `id` Ready and queues it. `refresh_deadline` recomputes the
+    /// EDF absolute deadline (done on real activations, not on round-robin
+    /// rotations).
+    pub fn enqueue_ready(&mut self, id: TaskId, now: SimTime, refresh_deadline: bool) {
+        self.set_task_state(id, now, TaskState::Ready);
+        let seq = self.enqueue_counter;
+        self.enqueue_counter += 1;
+        let entry = self.entry_mut(id);
+        entry.enqueued_at = now;
+        entry.enqueue_seq = seq;
+        if refresh_deadline {
+            if let Some(rd) = entry.config.relative_deadline {
+                entry.absolute_deadline = Some(now + rd);
+            }
+        }
+        self.ready.push(id);
+    }
+
+    /// Runs the policy to elect the next running task, removing it from
+    /// the ready queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns a task that is not ready.
+    pub fn pick_next(&mut self, now: SimTime) -> Option<TaskId> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let (ready, running) = self.snapshot(now);
+        let view = PolicyView {
+            now,
+            ready: &ready,
+            running: running.as_ref(),
+        };
+        let choice = self.policy.select(&view)?;
+        let pos = self
+            .ready
+            .iter()
+            .position(|&t| t == choice)
+            .unwrap_or_else(|| {
+                panic!(
+                    "policy `{}` selected {choice}, which is not ready",
+                    self.policy.name()
+                )
+            });
+        self.ready.swap_remove(pos);
+        self.running = Some(choice);
+        self.stats.dispatches += 1;
+        Some(choice)
+    }
+
+    /// Should freshly-ready `candidate` preempt the running task? Honors
+    /// the preemptive/non-preemptive mode and critical regions.
+    pub fn preemption_check(&mut self, candidate: TaskId, now: SimTime) -> bool {
+        if !self.preemptive || self.lock_depth > 0 {
+            return false;
+        }
+        if self.running.is_none() {
+            return false;
+        }
+        let (ready, running_view) = self.snapshot(now);
+        let view = PolicyView {
+            now,
+            ready: &ready,
+            running: running_view.as_ref(),
+        };
+        let cand_view = self.entry(candidate).view(candidate);
+        let run_view = running_view.expect("running view present");
+        self.policy.should_preempt(&view, &cand_view, &run_view)
+    }
+
+    /// The policy's time slice for `id`, minus what it already consumed
+    /// since dispatch.
+    pub fn remaining_slice(&self, id: TaskId, now: SimTime) -> Option<SimDuration> {
+        let (ready, running) = self.snapshot(now);
+        let view = PolicyView {
+            now,
+            ready: &ready,
+            running: running.as_ref(),
+        };
+        let entry = self.entry(id);
+        let quantum = self.policy.time_slice(&view, &entry.view(id))?;
+        Some(quantum.saturating_sub(now - entry.dispatched_at))
+    }
+
+    /// Grants the CPU to `id` with optional wake-time overheads; returns
+    /// the run event to notify.
+    pub fn grant(
+        &mut self,
+        id: TaskId,
+        wake_sched: Option<SimDuration>,
+        wake_load: Option<SimDuration>,
+    ) -> Event {
+        let entry = self.entry_mut(id);
+        entry.run_granted = true;
+        entry.wake_sched = wake_sched;
+        entry.wake_load = wake_load;
+        entry.run_event
+    }
+
+    /// Records an overhead segment attributed to `id`.
+    pub fn record_overhead(
+        &mut self,
+        id: TaskId,
+        now: SimTime,
+        kind: OverheadKind,
+        duration: SimDuration,
+    ) {
+        let actor = self.entry(id).actor;
+        self.recorder.overhead(actor, now, kind, duration);
+    }
+}
+
+/// The per-implementation-strategy surface: how a task gives up the CPU
+/// and how a task is made ready. Everything else is shared.
+pub(crate) trait Engine: Send + Sync {
+    /// The shared RTOS state.
+    fn shared(&self) -> &Arc<Mutex<RtosState>>;
+
+    /// Which strategy this engine implements.
+    fn kind(&self) -> EngineKind;
+
+    /// Called by the running task `me` to give up the CPU, entering
+    /// `next_state` (requeued as Ready if `requeue`). Performs context
+    /// save + scheduling overhead and dispatches a successor; in approach
+    /// B on the caller's coroutine, in approach A on the RTOS coroutine.
+    fn relinquish(
+        &self,
+        ctx: &mut ProcessContext,
+        me: TaskId,
+        next_state: TaskState,
+        requeue: bool,
+    );
+
+    /// Marks `target` ready, possibly triggering preemption of the
+    /// running task or an idle dispatch. Callable from any simulation
+    /// process (tasks of this or another processor, hardware functions).
+    fn make_ready(&self, ctx: &mut ProcessContext, target: TaskId);
+}
+
+/// Waits until the CPU is granted to `me`, consumes any wake-time
+/// overheads, and marks the task Running.
+pub(crate) fn acquire(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
+    let shared = engine.shared();
+    loop {
+        let wait_on = {
+            let mut st = shared.lock();
+            if st.entry(me).run_granted {
+                st.entry_mut(me).run_granted = false;
+                None
+            } else {
+                Some(st.entry(me).run_event)
+            }
+        };
+        match wait_on {
+            None => break,
+            Some(ev) => ctx.wait_event(ev),
+        }
+    }
+    let (sched, load) = {
+        let mut st = shared.lock();
+        let entry = st.entry_mut(me);
+        (entry.wake_sched.take(), entry.wake_load.take())
+    };
+    if let Some(d) = sched {
+        shared
+            .lock()
+            .record_overhead(me, ctx.now(), OverheadKind::Scheduling, d);
+        ctx.wait_for(d);
+    }
+    if let Some(d) = load {
+        shared
+            .lock()
+            .record_overhead(me, ctx.now(), OverheadKind::ContextLoad, d);
+        ctx.wait_for(d);
+    }
+    let mut st = shared.lock();
+    let now = ctx.now();
+    st.set_task_state(me, now, TaskState::Running);
+    st.entry_mut(me).dispatched_at = now;
+}
+
+/// Consumes `total` of CPU time with time-accurate preemption and
+/// time-slice support.
+///
+/// When the processor configures a preemption granularity, the task
+/// instead computes in uninterruptible chunks of that size, checking for
+/// preemption only at chunk boundaries — the clock-driven baseline model
+/// whose reaction error the paper's time-accurate approach eliminates.
+pub(crate) fn execute(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId, total: SimDuration) {
+    let mut remaining = total;
+    loop {
+        // A preemption may have been requested while we were not waiting
+        // on the preempt event (e.g. during a wake-overhead wait); honor
+        // it before computing.
+        let (preempt_now, slice, preempt_ev, granularity) = {
+            let mut st = engine.shared().lock();
+            let pending = st.entry(me).preempt_pending;
+            if pending {
+                st.entry_mut(me).preempt_pending = false;
+            }
+            (
+                pending,
+                st.remaining_slice(me, ctx.now()),
+                st.entry(me).preempt_event,
+                st.preemption_granularity,
+            )
+        };
+        if preempt_now {
+            engine.relinquish(ctx, me, TaskState::Ready, true);
+            acquire(engine, ctx, me);
+            continue;
+        }
+        if remaining.is_zero() {
+            return;
+        }
+        let bound = match slice {
+            Some(s) => s.min(remaining),
+            None => remaining,
+        };
+        let started = ctx.now();
+        let wake = match granularity {
+            None => ctx.wait_event_for(preempt_ev, bound),
+            Some(quantum) => {
+                // Clock-driven baseline: compute one uninterruptible
+                // chunk; preemption requests latch in preempt_pending and
+                // are honored at the chunk boundary (top of the loop).
+                ctx.wait_for(quantum.min(bound));
+                Wake::Timeout
+            }
+        };
+        let elapsed = ctx.now() - started;
+        remaining = remaining.saturating_sub(elapsed);
+        match wake {
+            Wake::Event(_) => {
+                // Preempted: the remaining time survives for the resume —
+                // the paper's time-accurate preemption.
+                engine.shared().lock().entry_mut(me).preempt_pending = false;
+                engine.relinquish(ctx, me, TaskState::Ready, true);
+                acquire(engine, ctx, me);
+            }
+            Wake::Timeout => {
+                if remaining.is_zero() {
+                    return;
+                }
+                if granularity.is_some() {
+                    // Chunk boundary: loop to re-check preemption flags.
+                    continue;
+                }
+                // Quantum expired with work left: rotate to the back.
+                engine.shared().lock().stats.quantum_expirations += 1;
+                engine.relinquish(ctx, me, TaskState::Ready, true);
+                acquire(engine, ctx, me);
+            }
+        }
+    }
+}
+
+/// Releases the CPU for `d` of wall simulation time (the task sleeps in
+/// Waiting, then re-activates). The wake instant is `call time + d`
+/// regardless of the RTOS overhead spent giving the CPU up.
+pub(crate) fn delay(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId, d: SimDuration) {
+    let wake_at = ctx.now().saturating_add(d);
+    engine.relinquish(ctx, me, TaskState::Waiting, false);
+    let now = ctx.now();
+    if wake_at > now {
+        ctx.wait_for(wake_at - now);
+    }
+    engine.make_ready(ctx, me);
+    acquire(engine, ctx, me);
+}
+
+/// Blocks the calling task until another agent wakes it via
+/// [`Engine::make_ready`]. `resource` selects the Waiting-for-resource
+/// trace state (mutual exclusion) over plain Waiting (synchronization).
+pub(crate) fn block(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId, resource: bool) {
+    let state = if resource {
+        TaskState::WaitingResource
+    } else {
+        TaskState::Waiting
+    };
+    engine.relinquish(ctx, me, state, false);
+    acquire(engine, ctx, me);
+}
+
+/// Terminates the calling task (paper: *Destruction*).
+pub(crate) fn terminate(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
+    engine.relinquish(ctx, me, TaskState::Terminated, false);
+}
+
+/// First activation of a task: records Creation, queues it ready and
+/// waits for its first dispatch.
+pub(crate) fn task_started(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
+    {
+        let mut st = engine.shared().lock();
+        let now = ctx.now();
+        st.set_task_state(me, now, TaskState::Created);
+    }
+    engine.make_ready(ctx, me);
+    acquire(engine, ctx, me);
+}
+
+/// Enters a critical region during which this task cannot be preempted
+/// (paper §3.1: the preemptive mode "can be changed during the simulation
+/// ... to model critical regions").
+pub(crate) fn lock_preemption(engine: &dyn Engine, me: TaskId) {
+    let mut st = engine.shared().lock();
+    debug_assert_eq!(st.running, Some(me), "preemption lock by a non-running task");
+    st.lock_depth += 1;
+}
+
+/// Leaves a critical region; if a more urgent task became ready meanwhile,
+/// the caller is preempted on the spot (the paper's Figure 7 point (3)).
+pub(crate) fn unlock_preemption(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
+    let must_yield = {
+        let mut st = engine.shared().lock();
+        assert!(st.lock_depth > 0, "preemption unlock without a lock");
+        st.lock_depth -= 1;
+        if st.lock_depth == 0 && st.preemptive {
+            let now = ctx.now();
+            best_candidate_preempts(&mut st, now)
+        } else {
+            false
+        }
+    };
+    if must_yield {
+        {
+            let mut st = engine.shared().lock();
+            st.stats.preemptions += 1;
+            st.entry_mut(me).preempt_pending = false;
+        }
+        engine.relinquish(ctx, me, TaskState::Ready, true);
+        acquire(engine, ctx, me);
+    }
+}
+
+/// Forces a scheduling decision: if the policy's best ready candidate now
+/// outranks the caller (e.g. after the caller's priority was restored at
+/// the end of a ceiling section), the caller yields the CPU.
+pub(crate) fn reschedule(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
+    let must_yield = {
+        let mut st = engine.shared().lock();
+        if !st.preemptive || st.lock_depth > 0 {
+            false
+        } else {
+            let now = ctx.now();
+            best_candidate_preempts(&mut st, now)
+        }
+    };
+    if must_yield {
+        {
+            let mut st = engine.shared().lock();
+            st.stats.preemptions += 1;
+            st.entry_mut(me).preempt_pending = false;
+        }
+        engine.relinquish(ctx, me, TaskState::Ready, true);
+        acquire(engine, ctx, me);
+    }
+}
+
+/// Voluntary preemption point: yields the CPU if a preemption is pending
+/// (the paper's rule that a preemptive RTOS suspends a task *between two
+/// of its RTOS calls*).
+pub(crate) fn preemption_point(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
+    let pending = {
+        let mut st = engine.shared().lock();
+        let p = st.entry(me).preempt_pending;
+        if p {
+            st.entry_mut(me).preempt_pending = false;
+        }
+        p
+    };
+    if pending {
+        engine.relinquish(ctx, me, TaskState::Ready, true);
+        acquire(engine, ctx, me);
+    }
+}
+
+/// Whether the policy's best ready candidate would preempt the running
+/// task `st.running`.
+fn best_candidate_preempts(st: &mut RtosState, now: SimTime) -> bool {
+    let (ready, running) = st.snapshot(now);
+    let view = PolicyView {
+        now,
+        ready: &ready,
+        running: running.as_ref(),
+    };
+    let Some(best) = st.policy.select(&view) else {
+        return false;
+    };
+    let Some(run_view) = running.as_ref() else {
+        return false;
+    };
+    let cand = ready
+        .iter()
+        .find(|t| t.id == best)
+        .copied()
+        .expect("policy selected a non-ready task");
+    st.policy.should_preempt(&view, &cand, run_view)
+}

@@ -1,0 +1,185 @@
+//! Approach B (paper §4.2): the RTOS as a set of procedure calls.
+//!
+//! No dedicated RTOS coroutine exists. The RTOS is a passive object whose
+//! primitives — the paper's `TaskIsReady()`, `TaskIsBlocked()`,
+//! `TaskIsPreempted()` — execute on the coroutine of the task that calls
+//! them, "close to the real implementation of a RTOS which is based on a
+//! set of procedures (primitives)". Per Figure 5:
+//!
+//! - the coroutine of the task *giving up* the CPU consumes the
+//!   context-save and scheduling durations, then notifies the elected
+//!   task's `TaskRun` event;
+//! - the coroutine of the *awakened* task consumes the context-load
+//!   duration (plus the scheduling duration on an idle dispatch, where no
+//!   other coroutine is available to pay for it).
+//!
+//! The only coroutine switches are between application tasks — the source
+//! of this model's simulation-speed advantage over approach A.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtsim_kernel::{Event, ProcessContext, SimDuration, Simulator};
+use rtsim_trace::{OverheadKind, TaskState};
+
+use crate::engine::{Engine, EngineKind, RtosState};
+use crate::task::TaskId;
+
+/// The procedure-call engine.
+pub(crate) struct ProcEngine {
+    shared: Arc<Mutex<RtosState>>,
+}
+
+impl ProcEngine {
+    /// Creates the engine and spawns its one helper process: the initial
+    /// dispatcher, which waits for all t=0 registrations to settle (one
+    /// zero-time step) and then elects the first running task.
+    pub fn new(sim: &mut Simulator, shared: Arc<Mutex<RtosState>>) -> Arc<Self> {
+        let engine = Arc::new(ProcEngine {
+            shared: Arc::clone(&shared),
+        });
+        let name = shared.lock().name.clone();
+        sim.spawn(&format!("{name}.dispatcher"), move |ctx| {
+            ctx.wait_for(SimDuration::ZERO);
+            let notify = {
+                let mut st = shared.lock();
+                st.started = true;
+                if st.running.is_some() {
+                    None
+                } else {
+                    let now = ctx.now();
+                    // Evaluate the scheduling duration against the full
+                    // ready queue, before the election removes the winner
+                    // (paper §3.2: the duration depends on the number of
+                    // ready tasks *when the algorithm runs*).
+                    let view = st.rtos_view(now);
+                    let sched = st.overheads.scheduling.eval(&view);
+                    st.pick_next(now).map(|next| {
+                        let view = st.rtos_view(now);
+                        let load = st.overheads.context_load.eval(&view);
+                        st.grant(next, Some(sched), Some(load))
+                    })
+                }
+            };
+            if let Some(ev) = notify {
+                ctx.notify(ev);
+            }
+        });
+        engine
+    }
+}
+
+enum ReadyAction {
+    Nothing,
+    Preempt(Event),
+    Dispatch(Event),
+}
+
+impl Engine for ProcEngine {
+    fn shared(&self) -> &Arc<Mutex<RtosState>> {
+        &self.shared
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::ProcedureCall
+    }
+
+    fn relinquish(
+        &self,
+        ctx: &mut ProcessContext,
+        me: TaskId,
+        next_state: TaskState,
+        requeue: bool,
+    ) {
+        // Phase 1: leave the Running state, pay the context save.
+        let save = {
+            let mut st = self.shared.lock();
+            let now = ctx.now();
+            debug_assert_eq!(st.running, Some(me), "relinquish by a non-running task");
+            st.stats.scheduler_runs += 1;
+            st.in_overhead = true;
+            st.running = None;
+            if requeue {
+                st.enqueue_ready(me, now, false);
+            } else {
+                st.set_task_state(me, now, next_state);
+            }
+            let view = st.rtos_view(now);
+            let save = st.overheads.context_save.eval(&view);
+            st.record_overhead(me, now, OverheadKind::ContextSave, save);
+            save
+        };
+        ctx.wait_for(save);
+
+        // Phase 2: run the scheduling algorithm. Its duration is evaluated
+        // *now*, against the ready queue the algorithm actually sees
+        // (paper §3.2: the duration "depends ... on the number of ready
+        // tasks when the algorithm runs").
+        let sched = {
+            let mut st = self.shared.lock();
+            let now = ctx.now();
+            let view = st.rtos_view(now);
+            let sched = st.overheads.scheduling.eval(&view);
+            st.record_overhead(me, now, OverheadKind::Scheduling, sched);
+            sched
+        };
+        ctx.wait_for(sched);
+
+        // Phase 3: elect the successor; it pays its own context load when
+        // it wakes (Figure 5).
+        let notify = {
+            let mut st = self.shared.lock();
+            let now = ctx.now();
+            st.in_overhead = false;
+            st.pick_next(now).map(|next| {
+                let view = st.rtos_view(now);
+                let load = st.overheads.context_load.eval(&view);
+                st.grant(next, None, Some(load))
+            })
+        };
+        if let Some(ev) = notify {
+            ctx.notify(ev);
+        }
+    }
+
+    fn make_ready(&self, ctx: &mut ProcessContext, target: TaskId) {
+        let action = {
+            let mut st = self.shared.lock();
+            let now = ctx.now();
+            match st.entry(target).state {
+                TaskState::Ready | TaskState::Running => return, // already awake
+                TaskState::Terminated => return,                 // nothing to wake
+                _ => {}
+            }
+            st.enqueue_ready(target, now, true);
+            if !st.started || st.in_overhead {
+                // The pending scheduler pass will see this arrival.
+                ReadyAction::Nothing
+            } else if st.running.is_some() {
+                if st.preemption_check(target, now) {
+                    let running = st.running.expect("checked running");
+                    st.entry_mut(running).preempt_pending = true;
+                    st.stats.preemptions += 1;
+                    ReadyAction::Preempt(st.entry(running).preempt_event)
+                } else {
+                    ReadyAction::Nothing
+                }
+            } else {
+                // Idle processor: dispatch directly. The awakened task's
+                // coroutine consumes both the scheduling and the
+                // context-load durations. The scheduling duration sees the
+                // full ready queue, pre-election.
+                let view = st.rtos_view(now);
+                let sched = st.overheads.scheduling.eval(&view);
+                let next = st.pick_next(now).expect("ready queue is non-empty");
+                let view = st.rtos_view(now);
+                let load = st.overheads.context_load.eval(&view);
+                ReadyAction::Dispatch(st.grant(next, Some(sched), Some(load)))
+            }
+        };
+        match action {
+            ReadyAction::Nothing => {}
+            ReadyAction::Preempt(ev) | ReadyAction::Dispatch(ev) => ctx.notify(ev),
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! The public processor and task API.
+//!
+//! A [`Processor`] models one CPU running the generic RTOS: it owns the
+//! scheduling policy, the preemption mode and the overhead parameters
+//! (paper §3), and serializes the tasks spawned onto it. Task bodies are
+//! ordinary closures receiving a [`TaskCtx`], whose methods are the RTOS
+//! "system calls" of the model.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtsim_kernel::{ProcessContext, SimDuration, SimTime, Simulator};
+use rtsim_trace::{ActorId, ActorKind, TaskState, TraceRecorder};
+
+use crate::engine::{self, Engine, EngineKind, RtosState, SchedulerStats};
+use crate::overhead::Overheads;
+use crate::policies::PriorityPreemptive;
+use crate::policy::SchedulingPolicy;
+use crate::proc_model::ProcEngine;
+use crate::task::{Priority, TaskConfig, TaskId};
+use crate::thread_model::ThreadEngine;
+
+/// Configuration of one RTOS processor.
+///
+/// Defaults match the paper's baseline: priority-based preemptive
+/// scheduling, zero overheads, procedure-call engine.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_core::{EngineKind, Overheads, ProcessorConfig};
+/// use rtsim_kernel::SimDuration;
+///
+/// let cfg = ProcessorConfig::new("CPU0")
+///     .overheads(Overheads::uniform(SimDuration::from_us(5)))
+///     .engine(EngineKind::DedicatedThread);
+/// assert_eq!(cfg.name, "CPU0");
+/// ```
+#[derive(Debug)]
+pub struct ProcessorConfig {
+    /// Processor display name.
+    pub name: String,
+    /// The scheduling algorithm (paper §3.1).
+    pub policy: Box<dyn SchedulingPolicy>,
+    /// Initial preemptive/non-preemptive mode (changeable at run time).
+    pub preemptive: bool,
+    /// The three RTOS overhead durations (paper §3.2).
+    pub overheads: Overheads,
+    /// Which of the two model implementations to use (paper §4).
+    pub engine: EngineKind,
+    /// `None` (default): the paper's time-accurate preemption. `Some(q)`:
+    /// tasks compute in uninterruptible chunks of `q` and honor
+    /// preemption only at chunk boundaries — the clock-driven baseline
+    /// (e.g. the SpecC model of Gerstlauer et al., DATE 2003) whose
+    /// reaction-time error the paper's contribution removes. Kept for
+    /// the baseline-comparison experiments.
+    pub preemption_granularity: Option<SimDuration>,
+}
+
+impl ProcessorConfig {
+    /// Creates a default configuration.
+    pub fn new(name: &str) -> Self {
+        ProcessorConfig {
+            name: name.to_owned(),
+            policy: Box::new(PriorityPreemptive::new()),
+            preemptive: true,
+            overheads: Overheads::zero(),
+            engine: EngineKind::ProcedureCall,
+            preemption_granularity: None,
+        }
+    }
+
+    /// Sets the scheduling policy.
+    pub fn policy(mut self, policy: impl SchedulingPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Sets the overhead parameters.
+    pub fn overheads(mut self, overheads: Overheads) -> Self {
+        self.overheads = overheads;
+        self
+    }
+
+    /// Starts the RTOS in non-preemptive mode.
+    pub fn non_preemptive(mut self) -> Self {
+        self.preemptive = false;
+        self
+    }
+
+    /// Selects the implementation strategy.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Switches to the clock-driven baseline: preemption is only honored
+    /// at `quantum` boundaries (see
+    /// [`preemption_granularity`](ProcessorConfig::preemption_granularity)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn quantized_preemption(mut self, quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "preemption quantum must be non-zero");
+        self.preemption_granularity = Some(quantum);
+        self
+    }
+}
+
+/// A processor running the generic RTOS model.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_core::{Processor, ProcessorConfig, TaskConfig};
+/// use rtsim_kernel::{SimDuration, Simulator};
+/// use rtsim_trace::TraceRecorder;
+///
+/// # fn main() -> Result<(), rtsim_kernel::KernelError> {
+/// let mut sim = Simulator::new();
+/// let rec = TraceRecorder::new();
+/// let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU0"));
+/// cpu.spawn_task(&mut sim, TaskConfig::new("worker").priority(1), |task| {
+///     task.execute(SimDuration::from_us(100));
+/// });
+/// sim.run()?;
+/// assert_eq!(sim.now().as_us(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Processor {
+    engine: Arc<dyn Engine>,
+    name: String,
+    actor: ActorId,
+    recorder: TraceRecorder,
+}
+
+impl Processor {
+    /// Creates a processor (spawning its internal dispatcher or RTOS
+    /// coroutine) inside `sim`, recording into `recorder`.
+    pub fn new(sim: &mut Simulator, recorder: &TraceRecorder, config: ProcessorConfig) -> Self {
+        let actor = recorder.register(&config.name, ActorKind::Processor);
+        let state = Arc::new(Mutex::new(RtosState::new(
+            &config.name,
+            config.policy,
+            config.overheads,
+            config.preemption_granularity,
+            config.preemptive,
+            recorder.clone(),
+            actor,
+        )));
+        let engine: Arc<dyn Engine> = match config.engine {
+            EngineKind::ProcedureCall => ProcEngine::new(sim, state),
+            EngineKind::DedicatedThread => ThreadEngine::new(sim, state),
+        };
+        Processor {
+            engine,
+            name: config.name,
+            actor,
+            recorder: recorder.clone(),
+        }
+    }
+
+    /// Spawns a task on this processor. The body runs once, from the
+    /// task's first dispatch to its destruction; periodic tasks loop
+    /// internally using [`TaskCtx::delay`] or communication waits.
+    pub fn spawn_task<F>(&self, sim: &mut Simulator, config: TaskConfig, body: F) -> TaskHandle
+    where
+        F: FnOnce(&mut TaskCtx<'_>) + Send + 'static,
+    {
+        let task_name = config.name.clone();
+        let run_event = sim.event(&format!("{}.{}.TaskRun", self.name, task_name));
+        let preempt_event = sim.event(&format!("{}.{}.TaskPreempt", self.name, task_name));
+        let actor = self.recorder.register(&task_name, ActorKind::Task);
+        let id = self
+            .engine
+            .shared()
+            .lock()
+            .add_task(config, run_event, preempt_event, actor);
+        let engine = Arc::clone(&self.engine);
+        let recorder = self.recorder.clone();
+        let name: Arc<str> = Arc::from(task_name.as_str());
+        let handle_name = Arc::clone(&name);
+        sim.spawn(&format!("{}.{}", self.name, task_name), move |ctx| {
+            engine::task_started(engine.as_ref(), ctx, id);
+            {
+                let mut task_ctx = TaskCtx {
+                    engine: Arc::clone(&engine),
+                    me: id,
+                    actor,
+                    name: Arc::clone(&name),
+                    recorder,
+                    kctx: ctx,
+                };
+                body(&mut task_ctx);
+            }
+            engine::terminate(engine.as_ref(), ctx, id);
+        });
+        TaskHandle {
+            engine: Arc::clone(&self.engine),
+            id,
+            actor,
+            name: handle_name,
+        }
+    }
+
+    /// Processor display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Trace actor of this processor.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+
+    /// Which implementation strategy this processor runs.
+    pub fn kind(&self) -> EngineKind {
+        self.engine.kind()
+    }
+
+    /// Scheduler statistics so far.
+    pub fn stats(&self) -> SchedulerStats {
+        self.engine.shared().lock().stats
+    }
+
+    /// Switches the preemptive/non-preemptive mode (testbench use; tasks
+    /// use [`TaskCtx::set_preemptive`]). Takes effect at the next
+    /// scheduling decision.
+    pub fn set_preemptive(&self, preemptive: bool) {
+        self.engine.shared().lock().preemptive = preemptive;
+    }
+
+    /// Current preemptive mode.
+    pub fn is_preemptive(&self) -> bool {
+        self.engine.shared().lock().preemptive
+    }
+}
+
+impl fmt::Debug for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Processor")
+            .field("name", &self.name)
+            .field("engine", &self.kind())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A cheap, cloneable reference to a spawned task, used to wake it from
+/// hardware processes, other processors, or communication relations.
+#[derive(Clone)]
+pub struct TaskHandle {
+    engine: Arc<dyn Engine>,
+    id: TaskId,
+    actor: ActorId,
+    name: Arc<str>,
+}
+
+impl TaskHandle {
+    /// The task's id within its processor.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The task's trace actor.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Makes the task ready — the paper's `TaskIsReady()` as seen from
+    /// outside: a hardware interrupt, a cross-processor message arrival...
+    /// May preempt the task currently running on the target processor.
+    /// No-op if the task is already ready, running, or terminated.
+    pub fn wake(&self, ctx: &mut ProcessContext) {
+        self.engine.make_ready(ctx, self.id);
+    }
+
+    /// Returns `true` if both handles designate the same task of the same
+    /// processor.
+    pub fn same_task(&self, other: &TaskHandle) -> bool {
+        Arc::ptr_eq(&self.engine, &other.engine) && self.id == other.id
+    }
+
+    /// The task's current (possibly boosted) priority.
+    pub fn priority(&self) -> Priority {
+        self.engine.shared().lock().entry(self.id).config.priority
+    }
+
+    /// Changes the task's priority. Takes effect at the next scheduling
+    /// decision — the mechanism behind priority-inheritance resource
+    /// protocols (see `rtsim-comm`).
+    pub fn set_priority(&self, priority: Priority) {
+        self.engine.shared().lock().entry_mut(self.id).config.priority = priority;
+    }
+}
+
+impl fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("name", &self.name)
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+/// The task-side view of the RTOS: the "system calls" available to a task
+/// body.
+///
+/// Obtained as the argument of the closure passed to
+/// [`Processor::spawn_task`]. The two central calls are:
+///
+/// - [`execute`](TaskCtx::execute) — consume CPU time (preemptible: a
+///   higher-priority activation suspends the task and the remaining time
+///   is recomputed exactly, the paper's time-accurate preemption);
+/// - [`delay`](TaskCtx::delay) — release the CPU for a fixed span.
+pub struct TaskCtx<'a> {
+    pub(crate) engine: Arc<dyn Engine>,
+    pub(crate) me: TaskId,
+    pub(crate) actor: ActorId,
+    pub(crate) name: Arc<str>,
+    pub(crate) recorder: TraceRecorder,
+    pub(crate) kctx: &'a mut ProcessContext,
+}
+
+impl TaskCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kctx.now()
+    }
+
+    /// This task's id.
+    pub fn id(&self) -> TaskId {
+        self.me
+    }
+
+    /// This task's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This task's trace actor.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+
+    /// This task's static priority.
+    pub fn priority(&self) -> Priority {
+        self.engine.shared().lock().entry(self.me).config.priority
+    }
+
+    /// A cloneable handle for waking this task from elsewhere.
+    pub fn handle(&self) -> TaskHandle {
+        TaskHandle {
+            engine: Arc::clone(&self.engine),
+            id: self.me,
+            actor: self.actor,
+            name: Arc::clone(&self.name),
+        }
+    }
+
+    /// Consumes `d` of CPU time. Preemptible: hardware events or
+    /// higher-priority activations suspend the task mid-computation and
+    /// the remaining time survives exactly (no clock granularity).
+    pub fn execute(&mut self, d: SimDuration) {
+        engine::execute(self.engine.as_ref(), self.kctx, self.me, d);
+    }
+
+    /// Releases the CPU and sleeps until `d` after the call instant, then
+    /// competes for the CPU again.
+    pub fn delay(&mut self, d: SimDuration) {
+        engine::delay(self.engine.as_ref(), self.kctx, self.me, d);
+    }
+
+    /// Blocks until woken via [`TaskHandle::wake`]. Building block for
+    /// communication relations; `resource` selects the waiting-for-
+    /// resource trace state (mutual exclusion) over plain Waiting.
+    pub fn suspend(&mut self, resource: bool) {
+        engine::block(self.engine.as_ref(), self.kctx, self.me, resource);
+    }
+
+    /// Enters a critical region: this task cannot be preempted until the
+    /// matching [`unlock_preemption`](TaskCtx::unlock_preemption). Nests.
+    pub fn lock_preemption(&mut self) {
+        engine::lock_preemption(self.engine.as_ref(), self.me);
+    }
+
+    /// Leaves a critical region. If a more urgent task became ready during
+    /// the region, the caller is preempted here, on the spot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region is active.
+    pub fn unlock_preemption(&mut self) {
+        engine::unlock_preemption(self.engine.as_ref(), self.kctx, self.me);
+    }
+
+    /// Voluntary preemption point: yields if a preemption is pending (the
+    /// paper's "between two RTOS calls" rule).
+    pub fn preemption_point(&mut self) {
+        engine::preemption_point(self.engine.as_ref(), self.kctx, self.me);
+    }
+
+    /// Forces a scheduling decision now: yields if the policy's best
+    /// ready candidate outranks this task — needed after operations that
+    /// change priorities without waking anyone (e.g. restoring a
+    /// priority-ceiling boost at the end of a critical section).
+    pub fn reschedule(&mut self) {
+        engine::reschedule(self.engine.as_ref(), self.kctx, self.me);
+    }
+
+    /// Switches the whole processor's preemptive mode (paper §3.1: the
+    /// mode "can be changed during the simulation").
+    pub fn set_preemptive(&mut self, preemptive: bool) {
+        self.engine.shared().lock().preemptive = preemptive;
+    }
+
+    /// Direct access to the kernel process context, for advanced models
+    /// (raw event waits, notifications).
+    pub fn kernel(&mut self) -> &mut ProcessContext {
+        self.kctx
+    }
+
+    /// The recorder this task traces into.
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// Annotates the trace at the current instant (anchor for TimeLine
+    /// measurements).
+    pub fn annotate(&mut self, label: &str) {
+        let now = self.kctx.now();
+        self.recorder.annotate(self.actor, now, label);
+    }
+
+    /// This task's current state as known to the RTOS.
+    pub fn state(&self) -> TaskState {
+        self.engine.shared().lock().entry(self.me).state
+    }
+}
+
+impl fmt::Debug for TaskCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskCtx")
+            .field("task", &self.name)
+            .field("id", &self.me)
+            .field("now", &self.now())
+            .finish()
+    }
+}

@@ -1,0 +1,262 @@
+//! Approach A (paper §4.1): task scheduling using a dedicated RTOS thread.
+//!
+//! The RTOS behaviour is modeled by its own simulation coroutine, woken by
+//! an `RTKRun` event whenever a task enters or leaves the Waiting state.
+//! The RTOS coroutine applies the state change, runs the scheduling
+//! algorithm, consumes all overhead durations on its own timeline, and
+//! dispatches the elected task via its `TaskRun` event (Figure 3).
+//!
+//! Every scheduling action therefore costs two extra coroutine switches
+//! (task → RTOS → task) compared with the procedure-call model — the
+//! simulation-speed penalty quantified in the paper's §4 and reproduced by
+//! the `ab_speed` benchmark.
+//!
+//! Requests are carried in a shared queue rather than in the event itself,
+//! so notifications that land while the RTOS coroutine is busy consuming
+//! overhead time are never lost.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtsim_kernel::{Event, ProcessContext, SimDuration, Simulator};
+use rtsim_trace::{OverheadKind, TaskState};
+
+use crate::engine::{Engine, EngineKind, RtosState};
+use crate::task::TaskId;
+
+/// A message from a task (or hardware function) to the RTOS coroutine.
+#[derive(Debug, Clone, Copy)]
+enum Request {
+    /// `TaskIsReady`: the task left the Waiting state.
+    Ready(TaskId),
+    /// `TaskIsBlocked` / `TaskIsPreempted` / destruction: the running task
+    /// gives the CPU up, entering `next_state`.
+    GiveUp {
+        me: TaskId,
+        next_state: TaskState,
+        requeue: bool,
+    },
+}
+
+/// The dedicated-thread engine.
+pub(crate) struct ThreadEngine {
+    shared: Arc<Mutex<RtosState>>,
+    requests: Arc<Mutex<VecDeque<Request>>>,
+    rtk_run: Event,
+}
+
+impl ThreadEngine {
+    /// Creates the engine and spawns the RTOS coroutine.
+    pub fn new(sim: &mut Simulator, shared: Arc<Mutex<RtosState>>) -> Arc<Self> {
+        let name = shared.lock().name.clone();
+        let rtk_run = sim.event(&format!("{name}.RTKRun"));
+        let engine = Arc::new(ThreadEngine {
+            shared: Arc::clone(&shared),
+            requests: Arc::new(Mutex::new(VecDeque::new())),
+            rtk_run,
+        });
+        let requests = Arc::clone(&engine.requests);
+        sim.spawn(&format!("{name}.rtos"), move |ctx| {
+            // Let all t=0 activations register before the first election.
+            ctx.wait_for(SimDuration::ZERO);
+            shared.lock().started = true;
+            loop {
+                let req = requests.lock().pop_front();
+                match req {
+                    Some(Request::Ready(t)) => apply_ready(&shared, ctx, t),
+                    Some(Request::GiveUp {
+                        me,
+                        next_state,
+                        requeue,
+                    }) => handle_give_up(&shared, &requests, ctx, me, next_state, requeue),
+                    None => {
+                        if needs_dispatch(&shared) {
+                            idle_dispatch(&shared, &requests, ctx);
+                        } else {
+                            ctx.wait_event(rtk_run);
+                        }
+                    }
+                }
+            }
+        });
+        engine
+    }
+
+    fn post(&self, ctx: &mut ProcessContext, request: Request) {
+        self.requests.lock().push_back(request);
+        ctx.notify(self.rtk_run);
+    }
+}
+
+/// Applies a `TaskIsReady` notification (no simulated time passes).
+fn apply_ready(shared: &Mutex<RtosState>, ctx: &mut ProcessContext, target: TaskId) {
+    let notify = {
+        let mut st = shared.lock();
+        let now = ctx.now();
+        match st.entry(target).state {
+            TaskState::Ready | TaskState::Running | TaskState::Terminated => return,
+            _ => {}
+        }
+        st.enqueue_ready(target, now, true);
+        if st.running.is_some() && st.preemption_check(target, now) {
+            let running = st.running.expect("checked running");
+            st.entry_mut(running).preempt_pending = true;
+            st.stats.preemptions += 1;
+            Some(st.entry(running).preempt_event)
+        } else {
+            None
+        }
+    };
+    if let Some(ev) = notify {
+        ctx.notify(ev);
+    }
+}
+
+/// Applies every queued `Ready` request without consuming time, so the
+/// imminent election sees the same ready queue the procedure-call engine
+/// would (arrivals during the overhead window are visible to the pending
+/// scheduler pass in both strategies).
+fn drain_ready_requests(
+    shared: &Mutex<RtosState>,
+    requests: &Mutex<VecDeque<Request>>,
+    ctx: &mut ProcessContext,
+) {
+    loop {
+        let next = {
+            let mut q = requests.lock();
+            match q.front() {
+                Some(Request::Ready(_)) => q.pop_front(),
+                _ => None,
+            }
+        };
+        match next {
+            Some(Request::Ready(t)) => apply_ready(shared, ctx, t),
+            _ => return,
+        }
+    }
+}
+
+/// The RTOS coroutine processes a task giving up the CPU: context save,
+/// scheduling, then dispatch — all on the RTOS timeline (Figure 3).
+fn handle_give_up(
+    shared: &Mutex<RtosState>,
+    requests: &Mutex<VecDeque<Request>>,
+    ctx: &mut ProcessContext,
+    me: TaskId,
+    next_state: TaskState,
+    requeue: bool,
+) {
+    let save = {
+        let mut st = shared.lock();
+        let now = ctx.now();
+        debug_assert_eq!(st.running, Some(me), "give-up from a non-running task");
+        st.stats.scheduler_runs += 1;
+        st.running = None;
+        if requeue {
+            st.enqueue_ready(me, now, false);
+        } else {
+            st.set_task_state(me, now, next_state);
+        }
+        let view = st.rtos_view(now);
+        let save = st.overheads.context_save.eval(&view);
+        st.record_overhead(me, now, OverheadKind::ContextSave, save);
+        save
+    };
+    ctx.wait_for(save);
+    let sched = {
+        let mut st = shared.lock();
+        let now = ctx.now();
+        let view = st.rtos_view(now);
+        let sched = st.overheads.scheduling.eval(&view);
+        st.record_overhead(me, now, OverheadKind::Scheduling, sched);
+        sched
+    };
+    ctx.wait_for(sched);
+    drain_ready_requests(shared, requests, ctx);
+    dispatch_elected(shared, ctx, None);
+}
+
+/// True when the processor is idle with work queued.
+fn needs_dispatch(shared: &Mutex<RtosState>) -> bool {
+    let st = shared.lock();
+    st.started && st.running.is_none() && !st.ready.is_empty()
+}
+
+/// Dispatch from idle: the RTOS consumes the scheduling duration, then
+/// elects and loads. The scheduling segment is attributed to the elected
+/// task once it is known.
+fn idle_dispatch(
+    shared: &Mutex<RtosState>,
+    requests: &Mutex<VecDeque<Request>>,
+    ctx: &mut ProcessContext,
+) {
+    let start = ctx.now();
+    let sched = {
+        let st = shared.lock();
+        let view = st.rtos_view(start);
+        st.overheads.scheduling.eval(&view)
+    };
+    ctx.wait_for(sched);
+    drain_ready_requests(shared, requests, ctx);
+    dispatch_elected(shared, ctx, Some((start, sched)));
+}
+
+/// Elects the next task, consumes the context-load duration on the RTOS
+/// timeline and grants the CPU. `sched_attr` back-attributes an already
+/// consumed scheduling segment to the elected task.
+fn dispatch_elected(
+    shared: &Mutex<RtosState>,
+    ctx: &mut ProcessContext,
+    sched_attr: Option<(rtsim_kernel::SimTime, SimDuration)>,
+) {
+    let elected = {
+        let mut st = shared.lock();
+        let now = ctx.now();
+        st.pick_next(now).map(|next| {
+            if let Some((at, d)) = sched_attr {
+                st.record_overhead(next, at, OverheadKind::Scheduling, d);
+            }
+            let view = st.rtos_view(now);
+            let load = st.overheads.context_load.eval(&view);
+            st.record_overhead(next, now, OverheadKind::ContextLoad, load);
+            (next, load)
+        })
+    };
+    if let Some((next, load)) = elected {
+        ctx.wait_for(load);
+        let ev = shared.lock().grant(next, None, None);
+        ctx.notify(ev);
+    }
+}
+
+impl Engine for ThreadEngine {
+    fn shared(&self) -> &Arc<Mutex<RtosState>> {
+        &self.shared
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::DedicatedThread
+    }
+
+    fn relinquish(
+        &self,
+        ctx: &mut ProcessContext,
+        me: TaskId,
+        next_state: TaskState,
+        requeue: bool,
+    ) {
+        self.post(
+            ctx,
+            Request::GiveUp {
+                me,
+                next_state,
+                requeue,
+            },
+        );
+    }
+
+    fn make_ready(&self, ctx: &mut ProcessContext, target: TaskId) {
+        self.post(ctx, Request::Ready(target));
+    }
+}

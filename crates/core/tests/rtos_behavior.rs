@@ -1,0 +1,644 @@
+//! Behavioral tests of the generic RTOS model, run against **both**
+//! implementation strategies (paper §4): every scenario must produce the
+//! same schedule under the procedure-call and the dedicated-thread
+//! engines — the paper's point that the optimization does not alter "the
+//! model's possibilities".
+
+use rtsim_core::agent::Waiter;
+use rtsim_core::{
+    spawn_interrupt_at, spawn_periodic_interrupt, EngineKind, OverheadSpec, Overheads, Processor,
+    ProcessorConfig, TaskConfig, TaskState,
+};
+use rtsim_core::policies::{EarliestDeadlineFirst, Fifo, RateMonotonic, RoundRobin};
+use rtsim_kernel::{SimDuration, SimTime, Simulator};
+use rtsim_trace::{Trace, TraceRecorder};
+
+const ENGINES: [EngineKind; 2] = [EngineKind::ProcedureCall, EngineKind::DedicatedThread];
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_us(v)
+}
+
+fn t_us(v: u64) -> SimTime {
+    SimTime::ZERO + us(v)
+}
+
+/// Instants (µs) at which `task` entered `state`.
+fn times_us(trace: &Trace, task: &str, state: TaskState) -> Vec<u64> {
+    let actor = trace.actor_by_name(task).expect("actor");
+    trace
+        .records_for(actor)
+        .filter_map(|r| match r.data {
+            rtsim_trace::TraceData::State(s) if s == state => Some(r.at.as_us()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn states(trace: &Trace, task: &str) -> Vec<TaskState> {
+    let actor = trace.actor_by_name(task).expect("actor");
+    trace.state_sequence(actor)
+}
+
+#[test]
+fn single_task_runs_and_terminates() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        cpu.spawn_task(&mut sim, TaskConfig::new("T").priority(1), |t| {
+            t.execute(us(100));
+        });
+        sim.run().unwrap();
+        assert_eq!(sim.now(), t_us(100), "{engine}");
+        let trace = rec.snapshot();
+        assert_eq!(
+            states(&trace, "T"),
+            vec![
+                TaskState::Created,
+                TaskState::Ready,
+                TaskState::Running,
+                TaskState::Terminated
+            ],
+            "{engine}"
+        );
+        assert_eq!(times_us(&trace, "T", TaskState::Terminated), vec![100]);
+    }
+}
+
+#[test]
+fn tasks_run_in_priority_order() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        // Spawn in reverse priority order to prove the initial dispatch
+        // waits for all registrations (one delta) before electing.
+        cpu.spawn_task(&mut sim, TaskConfig::new("low").priority(1), |t| {
+            t.execute(us(10));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("high").priority(9), |t| {
+            t.execute(us(10));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("mid").priority(5), |t| {
+            t.execute(us(10));
+        });
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        assert_eq!(times_us(&trace, "high", TaskState::Running), vec![0]);
+        assert_eq!(times_us(&trace, "mid", TaskState::Running), vec![10]);
+        assert_eq!(times_us(&trace, "low", TaskState::Running), vec![20]);
+    }
+}
+
+#[test]
+fn interrupt_preemption_is_time_accurate() {
+    // The paper's central claim: preemption at an arbitrary hardware
+    // instant, remaining time recomputed exactly, zero overheads here.
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        let isr = cpu.spawn_task(&mut sim, TaskConfig::new("isr").priority(9), |t| {
+            t.suspend(false);
+            t.execute(us(7));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
+            t.execute(us(100));
+        });
+        // Fire at 33 µs — deliberately no relation to any clock edge.
+        spawn_interrupt_at(&mut sim, "irq", us(33), Waiter::Task(isr));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // bg: preempted at exactly 33, resumed at 40, finished at 107.
+        assert_eq!(times_us(&trace, "bg", TaskState::Ready), vec![0, 33]);
+        assert_eq!(times_us(&trace, "bg", TaskState::Running), vec![0, 40]);
+        assert_eq!(times_us(&trace, "bg", TaskState::Terminated), vec![107]);
+        // isr ran 33..40.
+        assert_eq!(times_us(&trace, "isr", TaskState::Running).last(), Some(&33));
+        assert_eq!(sim.now(), t_us(107), "{engine}");
+    }
+}
+
+#[test]
+fn lower_priority_wake_does_not_preempt() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        let low = cpu.spawn_task(&mut sim, TaskConfig::new("low").priority(1), |t| {
+            t.suspend(false);
+            t.execute(us(5));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("high").priority(9), |t| {
+            t.delay(us(5)); // give `low` the chance to reach its suspend
+            t.execute(us(50));
+        });
+        spawn_interrupt_at(&mut sim, "irq", us(10), Waiter::Task(low));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // high is never preempted by the wake of a lower-priority task;
+        // low runs only once high completes (at 55).
+        assert_eq!(times_us(&trace, "high", TaskState::Running), vec![0, 5]);
+        assert_eq!(times_us(&trace, "low", TaskState::Running), vec![0, 55]);
+        assert_eq!(sim.now(), t_us(60), "{engine}");
+    }
+}
+
+#[test]
+fn figure6_overhead_pattern_with_uniform_5us() {
+    // Figure 6's configuration: scheduling, context-load and context-save
+    // all 5 µs. When a task ends and another resumes, the gap is 15 µs
+    // (measurement (a) in the paper).
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU")
+                .engine(engine)
+                .overheads(Overheads::uniform(us(5))),
+        );
+        cpu.spawn_task(&mut sim, TaskConfig::new("A").priority(5), |t| {
+            t.execute(us(30));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("B").priority(2), |t| {
+            t.execute(us(30));
+        });
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // Initial dispatch of A: scheduling + load = 10 µs (no context to
+        // save on an idle CPU).
+        assert_eq!(times_us(&trace, "A", TaskState::Running), vec![10]);
+        // A terminates at 40; B resumes after save+sched+load = 15 µs.
+        assert_eq!(times_us(&trace, "A", TaskState::Terminated), vec![40]);
+        assert_eq!(times_us(&trace, "B", TaskState::Running), vec![55]);
+        assert_eq!(times_us(&trace, "B", TaskState::Terminated), vec![85]);
+        // B's destruction pays one more save+sched pass: 85 + 10.
+        assert_eq!(sim.now(), t_us(95), "{engine}");
+    }
+}
+
+#[test]
+fn preemption_costs_save_sched_load() {
+    // Figure 6 measurement (b): preemption overhead between the preempted
+    // task's suspension and the preemptor's execution.
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU")
+                .engine(engine)
+                .overheads(Overheads::uniform(us(5))),
+        );
+        let isr = cpu.spawn_task(&mut sim, TaskConfig::new("isr").priority(9), |t| {
+            t.suspend(false);
+            t.execute(us(10));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
+            t.execute(us(100));
+        });
+        spawn_interrupt_at(&mut sim, "irq", us(50), Waiter::Task(isr));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // isr (highest priority) is dispatched first: sched+load = 10,
+        // runs zero time and suspends; its relinquish (save+sched, 10)
+        // plus bg's load (5) put bg on the CPU at 25.
+        assert_eq!(times_us(&trace, "isr", TaskState::Running), vec![10, 65]);
+        assert_eq!(times_us(&trace, "bg", TaskState::Running), vec![25, 90]);
+        // bg preempted at 50 after 25 of its 100 us; isr runs 65..75;
+        // bg back at 90 (75 + save+sched+load), owes 75, ends at 165.
+        assert_eq!(times_us(&trace, "bg", TaskState::Terminated), vec![165]);
+        assert_eq!(sim.now(), t_us(175), "{engine}"); // final save+sched
+    }
+}
+
+#[test]
+fn non_preemptive_mode_defers_to_block_boundary() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU").engine(engine).non_preemptive(),
+        );
+        let isr = cpu.spawn_task(&mut sim, TaskConfig::new("isr").priority(9), |t| {
+            t.suspend(false);
+            t.execute(us(5));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
+            t.execute(us(100)); // not preemptible: runs to completion
+        });
+        spawn_interrupt_at(&mut sim, "irq", us(20), Waiter::Task(isr));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        assert_eq!(times_us(&trace, "bg", TaskState::Running), vec![0]);
+        assert_eq!(times_us(&trace, "isr", TaskState::Running), vec![0, 100]);
+        assert_eq!(sim.now(), t_us(105), "{engine}");
+    }
+}
+
+#[test]
+fn critical_region_defers_preemption_to_unlock() {
+    // Paper §3.1: the preemptive mode can change during simulation "to
+    // model critical regions during which task preemption is not allowed".
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        let isr = cpu.spawn_task(&mut sim, TaskConfig::new("isr").priority(9), |t| {
+            t.suspend(false);
+            t.execute(us(5));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
+            t.lock_preemption();
+            t.execute(us(30)); // irq at 10 lands inside the region
+            t.unlock_preemption(); // preemption happens here, at 30
+            t.execute(us(30));
+        });
+        spawn_interrupt_at(&mut sim, "irq", us(10), Waiter::Task(isr));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        assert_eq!(times_us(&trace, "isr", TaskState::Running), vec![0, 30]);
+        assert_eq!(times_us(&trace, "bg", TaskState::Running), vec![0, 35]);
+        assert_eq!(sim.now(), t_us(65), "{engine}");
+    }
+}
+
+#[test]
+fn delay_wakes_exactly_after_duration() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        cpu.spawn_task(&mut sim, TaskConfig::new("periodic").priority(5), |t| {
+            for _ in 0..3 {
+                t.execute(us(10));
+                t.delay(us(90));
+            }
+        });
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // Activations at 0, 100, 200; the trailing delay wakes the task
+        // one last time at 300 before it terminates.
+        assert_eq!(
+            times_us(&trace, "periodic", TaskState::Running),
+            vec![0, 100, 200, 300]
+        );
+        assert_eq!(sim.now(), t_us(300), "{engine}");
+    }
+}
+
+#[test]
+fn delay_lets_lower_priority_run() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        cpu.spawn_task(&mut sim, TaskConfig::new("hi").priority(9), |t| {
+            for _ in 0..2 {
+                t.execute(us(10));
+                t.delay(us(40));
+            }
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("lo").priority(1), |t| {
+            t.execute(us(60));
+        });
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // hi: 0..10, 50..60, then a final wake at 100 from the trailing
+        // delay. lo fills the gaps: 10..50 (40 done), preempted at 50,
+        // resumes 60..80.
+        assert_eq!(times_us(&trace, "hi", TaskState::Running), vec![0, 50, 100]);
+        assert_eq!(times_us(&trace, "lo", TaskState::Running), vec![10, 60]);
+        assert_eq!(times_us(&trace, "lo", TaskState::Terminated), vec![80]);
+    }
+}
+
+#[test]
+fn round_robin_rotates_on_quantum() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU")
+                .engine(engine)
+                .policy(RoundRobin::new(us(10))),
+        );
+        cpu.spawn_task(&mut sim, TaskConfig::new("A"), |t| t.execute(us(25)));
+        cpu.spawn_task(&mut sim, TaskConfig::new("B"), |t| t.execute(us(15)));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // A: 0-10, B: 10-20, A: 20-30, B: 30-35, A: 35-40.
+        assert_eq!(times_us(&trace, "A", TaskState::Running), vec![0, 20, 35]);
+        assert_eq!(times_us(&trace, "B", TaskState::Running), vec![10, 30]);
+        assert_eq!(sim.now(), t_us(40), "{engine}");
+        assert!(cpu.stats().quantum_expirations >= 3, "{engine}");
+    }
+}
+
+#[test]
+fn fifo_ignores_priorities_and_never_preempts() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU").engine(engine).policy(Fifo::new()),
+        );
+        let late_hi = cpu.spawn_task(&mut sim, TaskConfig::new("late_hi").priority(9), |t| {
+            t.suspend(false);
+            t.execute(us(5));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("first").priority(1), |t| {
+            t.execute(us(50));
+        });
+        spawn_interrupt_at(&mut sim, "irq", us(10), Waiter::Task(late_hi));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // late_hi (spawned first) is dispatched first at 0 and suspends;
+        // the later wake cannot preempt under FIFO.
+        assert_eq!(times_us(&trace, "late_hi", TaskState::Running), vec![0, 50]);
+    }
+}
+
+#[test]
+fn edf_dispatches_earliest_deadline_and_preempts() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU")
+                .engine(engine)
+                .policy(EarliestDeadlineFirst::new()),
+        );
+        // tight becomes ready at 10 with deadline 10+30=40; loose starts
+        // at 0 with deadline 200 and gets preempted.
+        let tight = cpu.spawn_task(
+            &mut sim,
+            TaskConfig::new("tight").deadline(us(30)),
+            |t| {
+                t.suspend(false);
+                t.execute(us(5));
+            },
+        );
+        cpu.spawn_task(
+            &mut sim,
+            TaskConfig::new("loose").deadline(us(200)),
+            |t| {
+                t.execute(us(50));
+            },
+        );
+        spawn_interrupt_at(&mut sim, "irq", us(10), Waiter::Task(tight));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        assert_eq!(times_us(&trace, "tight", TaskState::Running), vec![0, 10]);
+        assert_eq!(times_us(&trace, "loose", TaskState::Running), vec![0, 15]);
+    }
+}
+
+#[test]
+fn rate_monotonic_prefers_shorter_period() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU")
+                .engine(engine)
+                .policy(RateMonotonic::new()),
+        );
+        cpu.spawn_task(&mut sim, TaskConfig::new("slow").period(us(100)), |t| {
+            t.execute(us(10));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("fast").period(us(20)), |t| {
+            t.execute(us(10));
+        });
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        assert_eq!(times_us(&trace, "fast", TaskState::Running), vec![0]);
+        assert_eq!(times_us(&trace, "slow", TaskState::Running), vec![10]);
+    }
+}
+
+#[test]
+fn overhead_formula_sees_ready_count() {
+    // Scheduling duration = 1 µs per ready task: with two ready tasks at
+    // the initial dispatch the first election costs 2 µs.
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let overheads = Overheads {
+            context_save: OverheadSpec::zero(),
+            scheduling: OverheadSpec::formula(|v| us(1) * v.ready_tasks as u64),
+            context_load: OverheadSpec::zero(),
+        };
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU").engine(engine).overheads(overheads),
+        );
+        cpu.spawn_task(&mut sim, TaskConfig::new("A").priority(5), |t| {
+            t.execute(us(10));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("B").priority(1), |t| {
+            t.execute(us(10));
+        });
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // Initial dispatch: 2 ready -> 2 µs scheduling; A runs 2..12.
+        assert_eq!(times_us(&trace, "A", TaskState::Running), vec![2]);
+        // A terminates; 1 ready -> 1 µs; B runs 13..23.
+        assert_eq!(times_us(&trace, "B", TaskState::Running), vec![13]);
+        assert_eq!(sim.now(), t_us(23), "{engine}");
+    }
+}
+
+#[test]
+fn periodic_interrupt_drives_handler() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        let isr = cpu.spawn_task(&mut sim, TaskConfig::new("isr").priority(9), |t| {
+            for _ in 0..4 {
+                t.suspend(false);
+                t.execute(us(3));
+            }
+        });
+        spawn_periodic_interrupt(&mut sim, "timer", us(10), us(10), 4, Waiter::Task(isr));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        assert_eq!(
+            times_us(&trace, "isr", TaskState::Running),
+            vec![0, 10, 20, 30, 40]
+        );
+    }
+}
+
+#[test]
+fn both_engines_produce_identical_schedules() {
+    // The paper's §4 conclusion: the procedure-call optimization removes
+    // coroutine switches "without altering the model's possibilities".
+    fn run(engine: EngineKind) -> Vec<(String, u64, String)> {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU")
+                .engine(engine)
+                .overheads(Overheads::uniform(us(5))),
+        );
+        let f1 = cpu.spawn_task(&mut sim, TaskConfig::new("F1").priority(5), |t| {
+            for _ in 0..3 {
+                t.suspend(false);
+                t.execute(us(40));
+            }
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("F2").priority(3), |t| {
+            for _ in 0..2 {
+                t.execute(us(30));
+                t.delay(us(100));
+            }
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("F3").priority(2), |t| {
+            t.execute(us(500));
+        });
+        spawn_periodic_interrupt(&mut sim, "clk", us(100), us(150), 3, Waiter::Task(f1));
+        sim.run_until(SimTime::ZERO + us(2_000)).unwrap();
+        let trace = rec.snapshot();
+        trace
+            .records()
+            .iter()
+            .filter_map(|r| match r.data {
+                rtsim_trace::TraceData::State(s) => Some((
+                    trace.actor_name(r.actor).to_owned(),
+                    r.at.as_ps(),
+                    s.to_string(),
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+    // Same-instant record order differs cosmetically between engines (the
+    // thread engine batches Ready transitions through its request queue),
+    // so compare the time-sorted schedules.
+    let mut schedule_b = run(EngineKind::ProcedureCall);
+    let mut schedule_a = run(EngineKind::DedicatedThread);
+    schedule_b.sort();
+    schedule_a.sort();
+    assert!(!schedule_b.is_empty());
+    assert_eq!(schedule_b, schedule_a);
+}
+
+#[test]
+fn procedure_call_engine_uses_fewer_kernel_switches() {
+    // Proxy for the paper's simulation-duration comparison: count
+    // coroutine switches for the same workload under each engine.
+    fn switches(engine: EngineKind) -> u64 {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::disabled();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        cpu.spawn_task(&mut sim, TaskConfig::new("ping").priority(2), |t| {
+            for _ in 0..100 {
+                t.execute(us(1));
+                t.delay(us(1));
+            }
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("pong").priority(1), |t| {
+            for _ in 0..100 {
+                t.execute(us(1));
+                t.delay(us(1));
+            }
+        });
+        sim.run().unwrap();
+        sim.stats().process_switches
+    }
+    let proc_switches = switches(EngineKind::ProcedureCall);
+    let thread_switches = switches(EngineKind::DedicatedThread);
+    assert!(
+        thread_switches > proc_switches,
+        "dedicated-thread {thread_switches} should exceed procedure-call {proc_switches}"
+    );
+}
+
+#[test]
+fn set_preemptive_at_runtime() {
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        assert!(cpu.is_preemptive());
+        cpu.set_preemptive(false);
+        assert!(!cpu.is_preemptive());
+        let isr = cpu.spawn_task(&mut sim, TaskConfig::new("isr").priority(9), |t| {
+            t.suspend(false);
+            t.execute(us(1));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
+            t.execute(us(50));
+        });
+        spawn_interrupt_at(&mut sim, "irq", us(10), Waiter::Task(isr));
+        sim.run().unwrap();
+        // Non-preemptive: isr waits for bg to finish.
+        let trace = rec.snapshot();
+        assert_eq!(times_us(&trace, "isr", TaskState::Running), vec![0, 50]);
+    }
+}
+
+#[test]
+fn scheduler_stats_are_populated() {
+    let mut sim = Simulator::new();
+    let rec = TraceRecorder::new();
+    let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+    let isr = cpu.spawn_task(&mut sim, TaskConfig::new("isr").priority(9), |t| {
+        t.suspend(false);
+        t.execute(us(1));
+    });
+    cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
+        t.execute(us(50));
+    });
+    spawn_interrupt_at(&mut sim, "irq", us(10), Waiter::Task(isr));
+    sim.run().unwrap();
+    let stats = cpu.stats();
+    assert!(stats.dispatches >= 3); // bg, isr, bg again
+    assert_eq!(stats.preemptions, 1);
+    assert!(stats.scheduler_runs >= 2);
+}
+
+#[test]
+fn hardware_and_software_tasks_coexist() {
+    use rtsim_core::{spawn_hw_function, Agent};
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
+        let handler = cpu.spawn_task(&mut sim, TaskConfig::new("sw").priority(5), |t| {
+            for _ in 0..2 {
+                t.suspend(false);
+                t.execute(us(5));
+            }
+        });
+        spawn_hw_function(&mut sim, &rec, "hw", move |hw| {
+            for _ in 0..2 {
+                hw.execute(us(20));
+                Waiter::Task(handler.clone()).wake(hw.kernel());
+            }
+        });
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        assert_eq!(times_us(&trace, "sw", TaskState::Running), vec![0, 20, 40]);
+        assert_eq!(sim.now(), t_us(45), "{engine}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Kernel error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Errors surfaced by `Simulator::run` and `Simulator::run_until`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A process body panicked; the run was aborted.
+    ProcessPanicked {
+        /// Name of the panicking process.
+        process: String,
+        /// The panic message, if it was a string payload.
+        message: String,
+    },
+    /// More than `limit` consecutive delta cycles executed without time
+    /// advancing — almost certainly a zero-time notification livelock in
+    /// the model.
+    DeltaCycleOverflow {
+        /// Simulated time at which the livelock was detected.
+        at: SimTime,
+        /// The configured delta-cycle bound.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::ProcessPanicked { process, message } => {
+                write!(f, "simulation process `{process}` panicked: {message}")
+            }
+            KernelError::DeltaCycleOverflow { at, limit } => {
+                write!(
+                    f,
+                    "more than {limit} delta cycles at {at} without time advancing"
+                )
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = KernelError::ProcessPanicked {
+            process: "task".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "simulation process `task` panicked: boom");
+        let e = KernelError::DeltaCycleOverflow {
+            at: SimTime::from_ps(5_000_000),
+            limit: 10,
+        };
+        assert!(e.to_string().contains("10 delta cycles"));
+        assert!(e.to_string().contains("@5 us"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulation events, the kernel's only synchronization primitive.
+//!
+//! An [`Event`] is the analogue of SystemC's `sc_event`: a pure
+//! synchronization object with no payload and no memorization. Processes
+//! block on events (`ProcessContext::wait_event` and friends) and wake when
+//! the event is *notified*. Higher-level primitives with memory (boolean /
+//! counter events, message queues, shared variables) are built on top of
+//! this in the `rtsim-comm` crate.
+//!
+//! # Notification kinds
+//!
+//! Following IEEE 1666, an event can be notified three ways:
+//!
+//! - **immediate** — waiters become runnable in the *current* evaluation
+//!   phase, at the current time;
+//! - **delta** — waiters become runnable in the *next* delta cycle, still at
+//!   the current time (this is what `sc_event::notify(SC_ZERO_TIME)` does);
+//! - **timed** — waiters become runnable after a given delay.
+//!
+//! An event carries at most **one** pending (delta or timed) notification;
+//! when several are posted, the *earliest* wins and the others are
+//! discarded, and an immediate notification cancels any pending one. This
+//! matches the SystemC override rules and is exercised by the kernel test
+//! suite.
+
+use std::fmt;
+
+/// A lightweight, copyable handle to a kernel event.
+///
+/// Create events with `Simulator::event` before (or between) simulation
+/// runs. Handles are plain indices; using a handle with a different
+/// `Simulator` than the one that created it is a logic error (and is caught
+/// by an index bounds panic in debug use).
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_kernel::Simulator;
+///
+/// let mut sim = Simulator::new();
+/// let tick = sim.event("tick");
+/// assert_eq!(sim.event_name(tick), "tick");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event(pub(crate) u32);
+
+impl Event {
+    /// Returns the raw index of this event within its simulator.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+/// What woke a process from a timed wait.
+///
+/// Returned by the `wait_*_for` family on `ProcessContext` so callers can
+/// distinguish "the event fired" from "the timeout elapsed" — the mechanism
+/// the RTOS model uses to implement time-accurate preemption (an executing
+/// task waits for its remaining computation time *or* a preemption event,
+/// whichever comes first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wake {
+    /// The wait ended because this event was notified.
+    Event(Event),
+    /// The wait ended because the timeout elapsed.
+    Timeout,
+}
+
+impl Wake {
+    /// Returns `true` if the wait timed out.
+    #[inline]
+    pub const fn is_timeout(self) -> bool {
+        matches!(self, Wake::Timeout)
+    }
+
+    /// Returns the waking event, if any.
+    #[inline]
+    pub const fn event(self) -> Option<Event> {
+        match self {
+            Wake::Event(e) => Some(e),
+            Wake::Timeout => None,
+        }
+    }
+}
+
+impl fmt::Display for Wake {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Wake::Event(e) => write!(f, "woken by {e}"),
+            Wake::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_accessors() {
+        let e = Event(3);
+        assert_eq!(Wake::Event(e).event(), Some(e));
+        assert!(!Wake::Event(e).is_timeout());
+        assert_eq!(Wake::Timeout.event(), None);
+        assert!(Wake::Timeout.is_timeout());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Event(7).to_string(), "event#7");
+        assert_eq!(Wake::Timeout.to_string(), "timed out");
+        assert_eq!(Wake::Event(Event(1)).to_string(), "woken by event#1");
+    }
+
+    #[test]
+    fn event_index_roundtrip() {
+        assert_eq!(Event(42).index(), 42);
+    }
+}

@@ -1,0 +1,387 @@
+//! Simulation processes and the cooperative handoff protocol.
+//!
+//! A simulation process (the analogue of a SystemC `SC_THREAD`) is an
+//! ordinary Rust closure running on its own OS thread, but under a strict
+//! *one-runner* protocol: at any instant either the kernel scheduler or
+//! exactly one process thread is executing. Control is handed over through
+//! channels:
+//!
+//! - the kernel resumes a process by sending it a resume message;
+//! - the process runs until it calls one of the `wait_*` methods on its
+//!   [`ProcessContext`], which sends a yield message (carrying any buffered
+//!   event notifications plus the wait request) back to the kernel and
+//!   blocks until resumed again.
+//!
+//! This is semantically identical to SystemC's cooperative coroutines, and
+//! because the handoff is a real thread switch, the *relative* cost of
+//! process switches — the quantity the DATE 2004 paper's approach-A versus
+//! approach-B experiment measures — is faithfully reproduced.
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::event::{Event, Wake};
+use crate::time::{SimDuration, SimTime};
+
+/// A lightweight, copyable handle to a simulation process.
+///
+/// Returned by `Simulator::spawn`. Process ids are dense indices assigned
+/// in spawn order; the kernel resumes runnable processes in a deterministic
+/// order so simulations are exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    /// Returns the raw index of this process within its simulator.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "process#{}", self.0)
+    }
+}
+
+/// Buffered notification operation, applied by the kernel in program order
+/// when the issuing process yields.
+///
+/// Because only one process runs at a time, deferring the application to
+/// the next yield point is indistinguishable from applying it eagerly — no
+/// other process can observe the intermediate state.
+#[derive(Debug, Clone)]
+pub(crate) enum NotifyOp {
+    /// Immediate notification: wake current waiters in this evaluation phase.
+    Immediate(Event),
+    /// Delta notification: wake waiters in the next delta cycle.
+    Delta(Event),
+    /// Timed notification after a non-zero delay.
+    Timed(Event, SimDuration),
+    /// Cancel any pending delta or timed notification.
+    Cancel(Event),
+}
+
+/// Why a process yielded control back to the kernel.
+#[derive(Debug)]
+pub(crate) enum YieldReason {
+    /// Sleep for a fixed duration.
+    WaitTime(SimDuration),
+    /// Block on one or more events, optionally bounded by a timeout.
+    WaitEvents {
+        events: Vec<Event>,
+        timeout: Option<SimDuration>,
+    },
+    /// The process body returned normally.
+    Terminated,
+    /// The process body panicked with this message.
+    Panicked(String),
+}
+
+/// Message sent from a process thread to the kernel at each yield point.
+#[derive(Debug)]
+pub(crate) struct YieldMsg {
+    pub pid: ProcessId,
+    pub ops: Vec<NotifyOp>,
+    pub reason: YieldReason,
+}
+
+/// Message sent from the kernel to a process thread to resume it.
+#[derive(Debug)]
+pub(crate) enum ResumeMsg {
+    /// Continue execution; `Wake` says what ended the previous wait.
+    Wake(Wake),
+    /// The simulator is being torn down; unwind quietly.
+    Shutdown,
+}
+
+/// Panic payload used to unwind process threads during simulator teardown.
+struct ShutdownToken;
+
+static SHUTDOWN_HOOK: Once = Once::new();
+
+/// Installs (once per program) a panic hook that silences the intentional
+/// teardown unwind while delegating every real panic to the previous hook.
+fn install_shutdown_hook() {
+    SHUTDOWN_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownToken>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// The per-process view of the simulation kernel.
+///
+/// A `ProcessContext` is handed to each process body and is the *only* way
+/// process code interacts with simulated time: reading the clock, waiting,
+/// and notifying events. All waits are cooperative — the underlying OS
+/// thread blocks until the kernel hands control back.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_kernel::{SimDuration, Simulator};
+///
+/// let mut sim = Simulator::new();
+/// let done = sim.event("done");
+/// sim.spawn("producer", move |ctx| {
+///     ctx.wait_for(SimDuration::from_ns(10));
+///     ctx.notify(done);
+/// });
+/// sim.spawn("consumer", move |ctx| {
+///     ctx.wait_event(done);
+///     assert_eq!(ctx.now().as_ps(), 10_000);
+/// });
+/// sim.run().unwrap();
+/// ```
+pub struct ProcessContext {
+    pid: ProcessId,
+    now_ps: Arc<AtomicU64>,
+    yield_tx: Sender<YieldMsg>,
+    resume_rx: Receiver<ResumeMsg>,
+    pending: Vec<NotifyOp>,
+}
+
+impl fmt::Debug for ProcessContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessContext")
+            .field("pid", &self.pid)
+            .field("now", &self.now())
+            .field("pending_ops", &self.pending.len())
+            .finish()
+    }
+}
+
+impl ProcessContext {
+    /// Returns the current simulation time.
+    ///
+    /// Time only advances while the kernel is in control, so within one
+    /// uninterrupted run slice the value is stable.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ps(self.now_ps.load(Ordering::Acquire))
+    }
+
+    /// Returns this process's id.
+    #[inline]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Suspends this process for `d` of simulated time.
+    ///
+    /// A zero duration still yields: the process resumes once all pending
+    /// delta activity at the current instant has settled (the SystemC
+    /// `wait(SC_ZERO_TIME)` behaviour).
+    pub fn wait_for(&mut self, d: SimDuration) {
+        let wake = self.suspend(YieldReason::WaitTime(d));
+        debug_assert!(wake.is_timeout(), "timed sleep woken by an event");
+    }
+
+    /// Blocks until `event` is notified.
+    ///
+    /// The event is *fugitive* (no memorization): a notification issued
+    /// while this process was not yet waiting is lost, exactly as with
+    /// `sc_event`.
+    pub fn wait_event(&mut self, event: Event) {
+        let wake = self.suspend(YieldReason::WaitEvents {
+            events: vec![event],
+            timeout: None,
+        });
+        debug_assert_eq!(wake, Wake::Event(event));
+    }
+
+    /// Blocks until `event` is notified or `timeout` elapses, whichever
+    /// comes first.
+    ///
+    /// This is the primitive the RTOS model builds *time-accurate
+    /// preemption* on: an executing task waits for its remaining
+    /// computation time with its preemption event as the escape hatch.
+    pub fn wait_event_for(&mut self, event: Event, timeout: SimDuration) -> Wake {
+        self.suspend(YieldReason::WaitEvents {
+            events: vec![event],
+            timeout: Some(timeout),
+        })
+    }
+
+    /// Blocks until any of `events` is notified; returns the waking event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty (the wait could never complete).
+    pub fn wait_any(&mut self, events: &[Event]) -> Event {
+        assert!(!events.is_empty(), "wait_any on an empty event set");
+        let wake = self.suspend(YieldReason::WaitEvents {
+            events: events.to_vec(),
+            timeout: None,
+        });
+        match wake {
+            Wake::Event(e) => e,
+            Wake::Timeout => unreachable!("untimed wait reported a timeout"),
+        }
+    }
+
+    /// Blocks until any of `events` is notified or `timeout` elapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty.
+    pub fn wait_any_for(&mut self, events: &[Event], timeout: SimDuration) -> Wake {
+        assert!(!events.is_empty(), "wait_any_for on an empty event set");
+        self.suspend(YieldReason::WaitEvents {
+            events: events.to_vec(),
+            timeout: Some(timeout),
+        })
+    }
+
+    /// Notifies `event` immediately: processes currently waiting on it
+    /// become runnable in the present evaluation phase, at the present
+    /// time. Cancels any pending delta/timed notification on the event.
+    #[inline]
+    pub fn notify(&mut self, event: Event) {
+        self.pending.push(NotifyOp::Immediate(event));
+    }
+
+    /// Notifies `event` in the next delta cycle (same simulated time).
+    #[inline]
+    pub fn notify_delta(&mut self, event: Event) {
+        self.pending.push(NotifyOp::Delta(event));
+    }
+
+    /// Notifies `event` after `delay`. A zero delay is a delta
+    /// notification, following `sc_event::notify(SC_ZERO_TIME)`.
+    ///
+    /// If the event already has a pending notification, the earlier of the
+    /// two survives (SystemC override rule).
+    #[inline]
+    pub fn notify_after(&mut self, event: Event, delay: SimDuration) {
+        if delay.is_zero() {
+            self.pending.push(NotifyOp::Delta(event));
+        } else {
+            self.pending.push(NotifyOp::Timed(event, delay));
+        }
+    }
+
+    /// Cancels any pending delta or timed notification on `event`.
+    /// Immediate notifications cannot be cancelled (they never pend).
+    #[inline]
+    pub fn cancel(&mut self, event: Event) {
+        self.pending.push(NotifyOp::Cancel(event));
+    }
+
+    /// Hands control to the kernel and blocks until resumed.
+    fn suspend(&mut self, reason: YieldReason) -> Wake {
+        let msg = YieldMsg {
+            pid: self.pid,
+            ops: std::mem::take(&mut self.pending),
+            reason,
+        };
+        if self.yield_tx.send(msg).is_err() {
+            // Kernel is gone: tear this thread down quietly.
+            panic::panic_any(ShutdownToken);
+        }
+        match self.resume_rx.recv() {
+            Ok(ResumeMsg::Wake(wake)) => wake,
+            Ok(ResumeMsg::Shutdown) | Err(_) => panic::panic_any(ShutdownToken),
+        }
+    }
+}
+
+/// Kernel-side record of one spawned process.
+pub(crate) struct ProcHandle {
+    pub name: String,
+    pub resume_tx: Sender<ResumeMsg>,
+    pub join: Option<JoinHandle<()>>,
+    pub state: ProcState,
+    /// Monotonic wait generation: bumped every time the process is woken,
+    /// so stale wait-list and timer entries can be detected lazily.
+    pub wait_seq: u64,
+}
+
+/// Kernel-side lifecycle state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    /// Queued for execution in the current evaluation phase.
+    Runnable,
+    /// Blocked in one of the `wait_*` calls.
+    Waiting,
+    /// Body returned (or panicked); the OS thread has exited.
+    Dead,
+}
+
+/// Spawns the OS thread backing one simulation process.
+///
+/// The returned handle is parked until the kernel sends the first resume.
+pub(crate) fn spawn_process<F>(
+    pid: ProcessId,
+    name: &str,
+    now_ps: Arc<AtomicU64>,
+    yield_tx: Sender<YieldMsg>,
+    resume_rx: Receiver<ResumeMsg>,
+    body: F,
+) -> JoinHandle<()>
+where
+    F: FnOnce(&mut ProcessContext) + Send + 'static,
+{
+    install_shutdown_hook();
+    let thread_name = format!("rtsim:{name}");
+    let yield_tx_outer = yield_tx.clone();
+    std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            let mut ctx = ProcessContext {
+                pid,
+                now_ps,
+                yield_tx,
+                resume_rx,
+                pending: Vec::new(),
+            };
+            // Wait for the kernel to start us.
+            match ctx.resume_rx.recv() {
+                Ok(ResumeMsg::Wake(_)) => {}
+                Ok(ResumeMsg::Shutdown) | Err(_) => return,
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+            let reason = match result {
+                Ok(()) => YieldReason::Terminated,
+                Err(payload) => {
+                    if payload.downcast_ref::<ShutdownToken>().is_some() {
+                        return; // intentional teardown
+                    }
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    YieldReason::Panicked(msg)
+                }
+            };
+            let _ = yield_tx_outer.send(YieldMsg {
+                pid,
+                ops: std::mem::take(&mut ctx.pending),
+                reason,
+            });
+        })
+        .expect("failed to spawn simulation process thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_and_index() {
+        let pid = ProcessId(5);
+        assert_eq!(pid.to_string(), "process#5");
+        assert_eq!(pid.index(), 5);
+    }
+}

@@ -1,0 +1,465 @@
+//! The kernel scheduler: event wheel, delta cycles, and the run loop.
+//!
+//! The scheduler follows the SystemC evaluation model:
+//!
+//! 1. **Evaluation phase** — resume runnable processes one at a time until
+//!    none remain. Immediate notifications issued by running processes can
+//!    add more processes to the current phase.
+//! 2. **Delta phase** — if any delta notifications are pending, fire them
+//!    (waking their waiters into a fresh evaluation phase) without
+//!    advancing time. Each pass is one *delta cycle*.
+//! 3. **Timed phase** — advance simulation time to the earliest pending
+//!    timer and fire everything scheduled at that instant.
+//!
+//! Determinism: runnable processes resume in FIFO wake order, waiters wake
+//! in registration order, and simultaneous timers fire in posting order, so
+//! a given model always produces the identical schedule.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::KernelError;
+use crate::event::{Event, Wake};
+use crate::process::{
+    spawn_process, NotifyOp, ProcHandle, ProcState, ProcessContext, ProcessId, ResumeMsg,
+    YieldMsg, YieldReason,
+};
+use crate::time::SimTime;
+
+/// Default bound on consecutive delta cycles at one instant before the
+/// kernel declares a zero-time livelock.
+pub(crate) const DEFAULT_MAX_DELTAS: u64 = 1_000_000;
+
+/// Pending notification state of one event (SystemC: at most one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    None,
+    Delta,
+    Timed { time: SimTime, stamp: u64 },
+}
+
+struct EventEntry {
+    name: String,
+    /// `(pid, wait_seq)` pairs; stale entries are skipped lazily.
+    waiters: Vec<(ProcessId, u64)>,
+    pending: Pending,
+}
+
+/// Action carried by a timer-wheel entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TimedAction {
+    /// Fire the event iff its pending notification still carries `stamp`.
+    NotifyEvent(Event, u64),
+    /// Wake the process iff it is still in wait generation `seq`.
+    WakeProcess(ProcessId, u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TimedEntry {
+    time: SimTime,
+    stamp: u64,
+    action: TimedAction,
+}
+
+/// Cumulative kernel statistics, used by the approach-A/approach-B
+/// simulation-speed experiment (the paper's §4 comparison hinges on
+/// *process switch counts*).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Process resumptions (coroutine switches into a process).
+    pub process_switches: u64,
+    /// Delta cycles executed.
+    pub delta_cycles: u64,
+    /// Distinct time advances.
+    pub time_advances: u64,
+    /// Event notifications delivered (waiter wakes).
+    pub event_wakes: u64,
+}
+
+pub(crate) struct Kernel {
+    now_ps: Arc<AtomicU64>,
+    procs: Vec<ProcHandle>,
+    events: Vec<EventEntry>,
+    runnable: VecDeque<(ProcessId, Wake)>,
+    delta_events: Vec<Event>,
+    timers: BinaryHeap<Reverse<TimedEntry>>,
+    stamp: u64,
+    yield_tx: Sender<YieldMsg>,
+    yield_rx: Receiver<YieldMsg>,
+    alive: usize,
+    max_deltas: u64,
+    pub stats: KernelStats,
+}
+
+impl Kernel {
+    pub fn new() -> Self {
+        let (yield_tx, yield_rx) = unbounded();
+        Kernel {
+            now_ps: Arc::new(AtomicU64::new(0)),
+            procs: Vec::new(),
+            events: Vec::new(),
+            runnable: VecDeque::new(),
+            delta_events: Vec::new(),
+            timers: BinaryHeap::new(),
+            stamp: 0,
+            yield_tx,
+            yield_rx,
+            alive: 0,
+            max_deltas: DEFAULT_MAX_DELTAS,
+            stats: KernelStats::default(),
+        }
+    }
+
+    pub fn set_max_deltas(&mut self, limit: u64) {
+        self.max_deltas = limit.max(1);
+    }
+
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ps(self.now_ps.load(Ordering::Acquire))
+    }
+
+    fn set_now(&mut self, t: SimTime) {
+        self.now_ps.store(t.as_ps(), Ordering::Release);
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    pub fn create_event(&mut self, name: &str) -> Event {
+        let id = Event(u32::try_from(self.events.len()).expect("too many events"));
+        self.events.push(EventEntry {
+            name: name.to_owned(),
+            waiters: Vec::new(),
+            pending: Pending::None,
+        });
+        id
+    }
+
+    pub fn event_name(&self, event: Event) -> &str {
+        &self.events[event.index()].name
+    }
+
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    pub fn process_name(&self, pid: ProcessId) -> &str {
+        &self.procs[pid.index()].name
+    }
+
+    pub fn spawn<F>(&mut self, name: &str, body: F) -> ProcessId
+    where
+        F: FnOnce(&mut ProcessContext) + Send + 'static,
+    {
+        let pid = ProcessId(u32::try_from(self.procs.len()).expect("too many processes"));
+        let (resume_tx, resume_rx) = unbounded::<ResumeMsg>();
+        let join = spawn_process(
+            pid,
+            name,
+            Arc::clone(&self.now_ps),
+            self.yield_tx.clone(),
+            resume_rx,
+            body,
+        );
+        self.procs.push(ProcHandle {
+            name: name.to_owned(),
+            resume_tx,
+            join: Some(join),
+            state: ProcState::Runnable,
+            wait_seq: 0,
+        });
+        self.alive += 1;
+        // New processes start in the next evaluation phase, like SC_THREADs
+        // at elaboration.
+        self.runnable.push_back((pid, Wake::Timeout));
+        pid
+    }
+
+    /// Immediate notification from outside any process (testbench code
+    /// between `run` calls).
+    pub fn notify_external(&mut self, event: Event) {
+        self.events[event.index()].pending = Pending::None;
+        self.fire(event);
+    }
+
+    /// Schedules a notification of `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn notify_at(&mut self, event: Event, at: SimTime) {
+        assert!(
+            at >= self.now(),
+            "notify_at: {at} is before current time {}",
+            self.now()
+        );
+        self.post_timed(event, at);
+    }
+
+    /// Applies the SystemC earliest-wins override rule for a timed
+    /// notification of `event` at absolute time `time`.
+    fn post_timed(&mut self, event: Event, time: SimTime) {
+        let stamp = self.next_stamp();
+        let entry = &mut self.events[event.index()];
+        match entry.pending {
+            Pending::Delta => {} // delta is earlier; discard
+            Pending::Timed { time: existing, .. } if existing <= time => {} // keep earlier
+            _ => {
+                entry.pending = Pending::Timed { time, stamp };
+                self.timers.push(Reverse(TimedEntry {
+                    time,
+                    stamp,
+                    action: TimedAction::NotifyEvent(event, stamp),
+                }));
+            }
+        }
+    }
+
+    /// Wakes every valid waiter of `event` into the current evaluation
+    /// phase.
+    fn fire(&mut self, event: Event) {
+        let waiters = std::mem::take(&mut self.events[event.index()].waiters);
+        for (pid, seq) in waiters {
+            let proc = &self.procs[pid.index()];
+            if proc.state == ProcState::Waiting && proc.wait_seq == seq {
+                self.make_runnable(pid, Wake::Event(event));
+            }
+        }
+    }
+
+    fn make_runnable(&mut self, pid: ProcessId, wake: Wake) {
+        let proc = &mut self.procs[pid.index()];
+        debug_assert_eq!(proc.state, ProcState::Waiting);
+        proc.state = ProcState::Runnable;
+        proc.wait_seq += 1;
+        self.stats.event_wakes += u64::from(matches!(wake, Wake::Event(_)));
+        self.runnable.push_back((pid, wake));
+    }
+
+    fn apply_ops(&mut self, ops: Vec<NotifyOp>) {
+        for op in ops {
+            match op {
+                NotifyOp::Immediate(e) => {
+                    // Immediate notification overrides (cancels) anything
+                    // pending and fires right now.
+                    self.events[e.index()].pending = Pending::None;
+                    self.fire(e);
+                }
+                NotifyOp::Delta(e) => {
+                    let entry = &mut self.events[e.index()];
+                    match entry.pending {
+                        Pending::Delta => {}
+                        Pending::None | Pending::Timed { .. } => {
+                            entry.pending = Pending::Delta;
+                            self.delta_events.push(e);
+                        }
+                    }
+                }
+                NotifyOp::Timed(e, d) => {
+                    let at = self.now().saturating_add(d);
+                    self.post_timed(e, at);
+                }
+                NotifyOp::Cancel(e) => {
+                    self.events[e.index()].pending = Pending::None;
+                }
+            }
+        }
+    }
+
+    fn apply_reason(&mut self, pid: ProcessId, reason: YieldReason) -> Result<(), KernelError> {
+        match reason {
+            YieldReason::WaitTime(d) => {
+                let at = self.now().saturating_add(d);
+                let proc = &mut self.procs[pid.index()];
+                proc.state = ProcState::Waiting;
+                let seq = proc.wait_seq;
+                let stamp = self.next_stamp();
+                self.timers.push(Reverse(TimedEntry {
+                    time: at,
+                    stamp,
+                    action: TimedAction::WakeProcess(pid, seq),
+                }));
+            }
+            YieldReason::WaitEvents { events, timeout } => {
+                let proc = &mut self.procs[pid.index()];
+                proc.state = ProcState::Waiting;
+                let seq = proc.wait_seq;
+                for e in events {
+                    self.events[e.index()].waiters.push((pid, seq));
+                }
+                if let Some(d) = timeout {
+                    let at = self.now().saturating_add(d);
+                    let stamp = self.next_stamp();
+                    self.timers.push(Reverse(TimedEntry {
+                        time: at,
+                        stamp,
+                        action: TimedAction::WakeProcess(pid, seq),
+                    }));
+                }
+            }
+            YieldReason::Terminated => {
+                self.procs[pid.index()].state = ProcState::Dead;
+                self.alive -= 1;
+            }
+            YieldReason::Panicked(message) => {
+                self.procs[pid.index()].state = ProcState::Dead;
+                self.alive -= 1;
+                return Err(KernelError::ProcessPanicked {
+                    process: self.procs[pid.index()].name.clone(),
+                    message,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops invalid timer entries and returns the time of the next valid
+    /// one, if any.
+    fn next_timer_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(top)) = self.timers.peek().copied() {
+            if self.timer_valid(&top) {
+                return Some(top.time);
+            }
+            self.timers.pop();
+        }
+        None
+    }
+
+    fn timer_valid(&self, entry: &TimedEntry) -> bool {
+        match entry.action {
+            TimedAction::NotifyEvent(e, stamp) => {
+                matches!(
+                    self.events[e.index()].pending,
+                    Pending::Timed { stamp: s, .. } if s == stamp
+                )
+            }
+            TimedAction::WakeProcess(pid, seq) => {
+                let proc = &self.procs[pid.index()];
+                proc.state == ProcState::Waiting && proc.wait_seq == seq
+            }
+        }
+    }
+
+    /// Runs until event starvation or (if given) until simulated time
+    /// would pass `limit`. Events scheduled exactly at `limit` are
+    /// processed.
+    pub fn run(&mut self, limit: Option<SimTime>) -> Result<(), KernelError> {
+        let mut deltas_at_instant: u64 = 0;
+        loop {
+            // -- evaluation phase ------------------------------------------
+            while let Some((pid, wake)) = self.runnable.pop_front() {
+                debug_assert_eq!(self.procs[pid.index()].state, ProcState::Runnable);
+                self.stats.process_switches += 1;
+                self.procs[pid.index()]
+                    .resume_tx
+                    .send(ResumeMsg::Wake(wake))
+                    .expect("process thread vanished");
+                let msg = self
+                    .yield_rx
+                    .recv()
+                    .expect("process thread hung up without yielding");
+                debug_assert_eq!(msg.pid, pid, "yield from a process that was not running");
+                self.apply_ops(msg.ops);
+                self.apply_reason(msg.pid, msg.reason)?;
+            }
+
+            // -- delta phase -----------------------------------------------
+            if !self.delta_events.is_empty() {
+                deltas_at_instant += 1;
+                self.stats.delta_cycles += 1;
+                if deltas_at_instant > self.max_deltas {
+                    return Err(KernelError::DeltaCycleOverflow {
+                        at: self.now(),
+                        limit: self.max_deltas,
+                    });
+                }
+                for e in std::mem::take(&mut self.delta_events) {
+                    if self.events[e.index()].pending == Pending::Delta {
+                        self.events[e.index()].pending = Pending::None;
+                        self.fire(e);
+                    }
+                }
+                continue;
+            }
+
+            // -- timed phase -----------------------------------------------
+            let Some(t) = self.next_timer_time() else {
+                // Event starvation: nothing left to do.
+                if let Some(end) = limit {
+                    if end > self.now() {
+                        self.set_now(end);
+                    }
+                }
+                return Ok(());
+            };
+            if let Some(end) = limit {
+                if t > end {
+                    self.set_now(end);
+                    return Ok(());
+                }
+            }
+            if t > self.now() {
+                self.set_now(t);
+                self.stats.time_advances += 1;
+                deltas_at_instant = 0;
+            }
+            while let Some(Reverse(top)) = self.timers.peek().copied() {
+                if top.time > t {
+                    break;
+                }
+                self.timers.pop();
+                if !self.timer_valid(&top) {
+                    continue;
+                }
+                match top.action {
+                    TimedAction::NotifyEvent(e, _) => {
+                        self.events[e.index()].pending = Pending::None;
+                        self.fire(e);
+                    }
+                    TimedAction::WakeProcess(pid, _) => {
+                        self.make_runnable(pid, Wake::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn alive_processes(&self) -> usize {
+        self.alive
+    }
+
+    /// Time of the next pending activity (runnable work counts as "now"),
+    /// or `None` when the simulation has starved.
+    pub fn next_activity(&mut self) -> Option<SimTime> {
+        if !self.runnable.is_empty() || !self.delta_events.is_empty() {
+            return Some(self.now());
+        }
+        self.next_timer_time()
+    }
+}
+
+impl Drop for Kernel {
+    fn drop(&mut self) {
+        for proc in &mut self.procs {
+            if proc.state != ProcState::Dead {
+                let _ = proc.resume_tx.send(ResumeMsg::Shutdown);
+            }
+        }
+        for proc in &mut self.procs {
+            if let Some(handle) = proc.join.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The public simulator front-end.
+
+use crate::error::KernelError;
+use crate::event::Event;
+use crate::process::{ProcessContext, ProcessId};
+use crate::scheduler::{Kernel, KernelStats};
+use crate::time::SimTime;
+
+/// A discrete-event simulator: the SystemC-engine stand-in that everything
+/// in `rtsim` runs on.
+///
+/// Typical lifecycle: create the simulator, create [`Event`]s, spawn
+/// processes (each an ordinary closure receiving a
+/// [`ProcessContext`]), then [`run`](Simulator::run) or
+/// [`run_until`](Simulator::run_until). The simulator may be run multiple
+/// times; each call continues from where the previous one stopped.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_kernel::{SimDuration, SimTime, Simulator};
+///
+/// # fn main() -> Result<(), rtsim_kernel::KernelError> {
+/// let mut sim = Simulator::new();
+/// let ping = sim.event("ping");
+/// let pong = sim.event("pong");
+/// sim.spawn("a", move |ctx| {
+///     for _ in 0..3 {
+///         ctx.wait_for(SimDuration::from_ns(5));
+///         ctx.notify(ping);
+///         ctx.wait_event(pong);
+///     }
+/// });
+/// sim.spawn("b", move |ctx| {
+///     for _ in 0..3 {
+///         ctx.wait_event(ping);
+///         ctx.notify(pong);
+///     }
+/// });
+/// sim.run()?;
+/// assert_eq!(sim.now(), SimTime::from_ps(15_000));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator {
+    kernel: Kernel,
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            kernel: Kernel::new(),
+        }
+    }
+
+    /// Creates a named event. See [`Event`] for notification semantics.
+    pub fn event(&mut self, name: &str) -> Event {
+        self.kernel.create_event(name)
+    }
+
+    /// Spawns a simulation process. The body starts executing (at the
+    /// current simulation time) on the next `run`/`run_until` call.
+    ///
+    /// Processes may be spawned before the first run or between runs, but
+    /// not from inside another process.
+    pub fn spawn<F>(&mut self, name: &str, body: F) -> ProcessId
+    where
+        F: FnOnce(&mut ProcessContext) + Send + 'static,
+    {
+        self.kernel.spawn(name, body)
+    }
+
+    /// Runs until event starvation (no runnable process and no pending
+    /// notification).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ProcessPanicked`] if a process body panics
+    /// and [`KernelError::DeltaCycleOverflow`] on a zero-time livelock.
+    pub fn run(&mut self) -> Result<(), KernelError> {
+        self.kernel.run(None)
+    }
+
+    /// Runs until event starvation or until simulated time would pass
+    /// `until`, whichever comes first. Activity scheduled exactly at
+    /// `until` is processed, and afterwards [`now`](Simulator::now) is
+    /// `until` (unless starvation happened first at a later implied time).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Simulator::run).
+    pub fn run_until(&mut self, until: SimTime) -> Result<(), KernelError> {
+        self.kernel.run(Some(until))
+    }
+
+    /// Runs for `span` of simulated time from the current instant
+    /// (equivalent to `run_until(now() + span)`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Simulator::run).
+    pub fn run_for(&mut self, span: crate::time::SimDuration) -> Result<(), KernelError> {
+        let until = self.now().saturating_add(span);
+        self.run_until(until)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Immediately notifies `event` from testbench context (outside any
+    /// process). Takes effect in the next evaluation phase.
+    pub fn notify(&mut self, event: Event) {
+        self.kernel.notify_external(event);
+    }
+
+    /// Schedules a notification of `event` at absolute simulated time
+    /// `at`, subject to the earliest-wins override rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before [`now`](Simulator::now).
+    pub fn notify_at(&mut self, event: Event, at: SimTime) {
+        self.kernel.notify_at(event, at);
+    }
+
+    /// The name given to `event` at creation.
+    pub fn event_name(&self, event: Event) -> &str {
+        self.kernel.event_name(event)
+    }
+
+    /// The name given to `pid` at spawn.
+    pub fn process_name(&self, pid: ProcessId) -> &str {
+        self.kernel.process_name(pid)
+    }
+
+    /// Number of events created so far.
+    pub fn event_count(&self) -> usize {
+        self.kernel.event_count()
+    }
+
+    /// Number of processes spawned so far (dead or alive).
+    pub fn process_count(&self) -> usize {
+        self.kernel.process_count()
+    }
+
+    /// Number of processes that have not yet terminated.
+    pub fn alive_processes(&self) -> usize {
+        self.kernel.alive_processes()
+    }
+
+    /// Cumulative kernel statistics (process switches, delta cycles...).
+    ///
+    /// The process-switch counter is the measurement behind the paper's
+    /// approach-A versus approach-B comparison (§4): the procedure-call
+    /// RTOS model schedules without a dedicated RTOS process and therefore
+    /// performs markedly fewer switches per scheduling action.
+    pub fn stats(&self) -> KernelStats {
+        self.kernel.stats
+    }
+
+    /// Overrides the delta-cycle livelock bound (default one million).
+    pub fn set_max_delta_cycles(&mut self, limit: u64) {
+        self.kernel.set_max_deltas(limit);
+    }
+
+    /// The time of the next pending activity, or `None` if the simulation
+    /// has starved — the hook for lockstep co-simulation with an external
+    /// engine: advance the partner to `next_activity()`, exchange events,
+    /// `run_until` that instant, repeat.
+    pub fn next_activity(&mut self) -> Option<SimTime> {
+        self.kernel.next_activity()
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now())
+            .field("processes", &self.process_count())
+            .field("alive", &self.alive_processes())
+            .field("events", &self.event_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

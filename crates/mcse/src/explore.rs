@@ -1,0 +1,258 @@
+//! Design-space exploration: running model variants side by side.
+//!
+//! The paper's purpose is exploration — "it is very easy to explore the
+//! design space of real-time systems implemented on SoC composed of
+//! several processors and FPGA and obtain accurate results". This module
+//! packages the loop every exploration harness repeats: build a variant,
+//! elaborate, run, collect makespan / utilization / constraint verdicts,
+//! and tabulate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rtsim_kernel::{KernelError, SimTime};
+
+use crate::constraint::ConstraintReport;
+use crate::error::ModelError;
+use crate::model::SystemModel;
+
+/// One point of the design space: a name and the model to run.
+pub struct Variant {
+    /// Row label in the report.
+    pub name: String,
+    /// The model (built by the caller's factory with this variant's
+    /// parameters).
+    pub model: SystemModel,
+}
+
+impl Variant {
+    /// Creates a variant.
+    pub fn new(name: &str, model: SystemModel) -> Self {
+        Variant {
+            name: name.to_owned(),
+            model,
+        }
+    }
+}
+
+impl fmt::Debug for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Variant").field("name", &self.name).finish()
+    }
+}
+
+/// Measured outcome of one variant.
+#[derive(Debug, Clone)]
+pub struct VariantOutcome {
+    /// The variant's name.
+    pub name: String,
+    /// Simulated end time (or the horizon, if bounded).
+    pub makespan: SimTime,
+    /// Busy fraction of each software processor.
+    pub processor_utilization: BTreeMap<String, f64>,
+    /// Verdicts of the model's declared timing constraints.
+    pub constraints: ConstraintReport,
+}
+
+/// Errors from a sweep.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// A variant's model failed validation.
+    Model {
+        /// The failing variant.
+        variant: String,
+        /// The underlying error.
+        source: ModelError,
+    },
+    /// A variant's simulation failed.
+    Kernel {
+        /// The failing variant.
+        variant: String,
+        /// The underlying error.
+        source: KernelError,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Model { variant, source } => {
+                write!(f, "variant `{variant}`: {source}")
+            }
+            ExploreError::Kernel { variant, source } => {
+                write!(f, "variant `{variant}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Runs every variant to completion (or `until`, if given) and collects
+/// the outcomes.
+///
+/// # Errors
+///
+/// Stops at the first variant whose model fails validation or whose
+/// simulation errors.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_core::{Overheads, TaskConfig};
+/// use rtsim_kernel::SimDuration;
+/// use rtsim_mcse::explore::{run_variants, Variant};
+/// use rtsim_mcse::SystemModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let build = |overhead_us: u64| {
+///     let mut model = SystemModel::new("sweep");
+///     model.software_processor("CPU", Overheads::uniform(SimDuration::from_us(overhead_us)));
+///     model.periodic_function(
+///         TaskConfig::new("tick").priority(1),
+///         SimDuration::from_us(100),
+///         SimDuration::from_us(10),
+///         5,
+///     );
+///     model.map_to_processor("tick", "CPU");
+///     model
+/// };
+/// let outcomes = run_variants(
+///     vec![
+///         Variant::new("lean", build(0)),
+///         Variant::new("heavy", build(10)),
+///     ],
+///     None,
+/// )?;
+/// assert!(outcomes[0].makespan < outcomes[1].makespan);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_variants(
+    variants: Vec<Variant>,
+    until: Option<SimTime>,
+) -> Result<Vec<VariantOutcome>, ExploreError> {
+    let mut outcomes = Vec::with_capacity(variants.len());
+    for variant in variants {
+        let name = variant.name;
+        let mut system = variant.model.elaborate().map_err(|source| {
+            ExploreError::Model {
+                variant: name.clone(),
+                source,
+            }
+        })?;
+        let result = match until {
+            Some(t) => system.run_until(t),
+            None => system.run(),
+        };
+        result.map_err(|source| ExploreError::Kernel {
+            variant: name.clone(),
+            source,
+        })?;
+        let processor_utilization = system
+            .processor_names()
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|p| {
+                system
+                    .processor_utilization(&p)
+                    .map(|u| (p, u))
+            })
+            .collect();
+        outcomes.push(VariantOutcome {
+            name,
+            makespan: system.now(),
+            processor_utilization,
+            constraints: system.verify_constraints(),
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Renders outcomes as a text table.
+pub fn render_table(outcomes: &[VariantOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14} {:>12} {:>12}",
+        "variant", "makespan", "constraints", "max CPU util"
+    );
+    for o in outcomes {
+        let max_util = o
+            .processor_utilization
+            .values()
+            .copied()
+            .fold(0.0f64, f64::max);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>12} {:>11.1}%",
+            o.name,
+            o.makespan.to_string(),
+            if o.constraints.all_satisfied() {
+                "all pass"
+            } else {
+                "VIOLATED"
+            },
+            max_util * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::TimingConstraint;
+    use rtsim_core::{Overheads, TaskConfig};
+    use rtsim_kernel::SimDuration;
+
+    fn build(cost_us: u64) -> SystemModel {
+        let mut model = SystemModel::new("t");
+        model.software_processor("CPU", Overheads::zero());
+        model.periodic_function(
+            TaskConfig::new("tick").priority(1),
+            SimDuration::from_us(100),
+            SimDuration::from_us(cost_us),
+            3,
+        );
+        model.map_to_processor("tick", "CPU");
+        model.constraint(TimingConstraint::CompletionWithin {
+            name: "d".into(),
+            function: "tick".into(),
+            bound: SimDuration::from_us(20),
+        });
+        model
+    }
+
+    #[test]
+    fn sweep_collects_outcomes_in_order() {
+        let outcomes = run_variants(
+            vec![
+                Variant::new("fast", build(10)),
+                Variant::new("slow", build(50)),
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].name, "fast");
+        assert!(outcomes[0].constraints.all_satisfied());
+        assert!(!outcomes[1].constraints.all_satisfied()); // 50 > 20 bound
+        assert!(outcomes[0].processor_utilization["CPU"] > 0.0);
+        let table = render_table(&outcomes);
+        assert!(table.contains("fast"));
+        assert!(table.contains("VIOLATED"));
+    }
+
+    #[test]
+    fn invalid_variant_reports_its_name() {
+        let mut broken = SystemModel::new("broken");
+        broken.function(TaskConfig::new("orphan"), |_a, _io| {});
+        let err = run_variants(vec![Variant::new("bad", broken)], None).unwrap_err();
+        assert!(err.to_string().contains("bad"));
+        assert!(err.to_string().contains("orphan"));
+    }
+}

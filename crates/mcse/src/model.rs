@@ -1,0 +1,355 @@
+//! The MCSE functional-model builder.
+//!
+//! The paper's flow captures a system as a set of **functions** connected
+//! by **relations** (events, message queues, shared variables), then maps
+//! each function onto a processor — a software processor running the
+//! generic RTOS model, or hardware (fully concurrent) — and generates an
+//! executable SystemC model "in a few seconds". [`SystemModel`] is that
+//! capture step as a builder API; [`SystemModel::elaborate`] is the code
+//! generator, producing a ready-to-run simulation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rtsim_comm::{EventPolicy, LockMode};
+use rtsim_core::agent::Agent;
+use rtsim_core::{EngineKind, Overheads, SchedulingPolicy, TaskConfig};
+use rtsim_kernel::SimDuration;
+
+use crate::constraint::TimingConstraint;
+use crate::elaborate::{ElaboratedSystem, Io};
+use crate::error::ModelError;
+
+/// An abstract message carried by queues and shared variables in the
+/// functional model.
+///
+/// Performance simulation cares about *when* and *how much*, not payload
+/// contents, so a message is an id plus a size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Message {
+    /// Application-level identifier (frame number, packet id...).
+    pub id: u64,
+    /// Payload size in bytes (available to custom timing formulas).
+    pub size: u64,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(id: u64, size: u64) -> Self {
+        Message { id, size }
+    }
+}
+
+/// A function body: the sequential behaviour of one MCSE function,
+/// written against [`Agent`] so the same body runs mapped to hardware or
+/// to any software processor.
+pub type FunctionBody = Box<dyn FnOnce(&mut dyn Agent, &Io) + Send + 'static>;
+
+/// Where a function executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mapping {
+    /// Dedicated hardware: fully concurrent, no RTOS.
+    Hardware,
+    /// A software processor (by name) running the RTOS model.
+    Software(String),
+}
+
+/// Kind and parameters of one relation.
+pub(crate) enum RelationDecl {
+    Event(EventPolicy),
+    Queue { capacity: usize },
+    Rendezvous,
+    Var { mode: LockMode, initial: Message },
+}
+
+impl fmt::Debug for RelationDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationDecl::Event(p) => write!(f, "Event({p})"),
+            RelationDecl::Queue { capacity } => write!(f, "Queue(cap={capacity})"),
+            RelationDecl::Rendezvous => f.write_str("Rendezvous"),
+            RelationDecl::Var { mode, .. } => write!(f, "Var({mode})"),
+        }
+    }
+}
+
+pub(crate) struct FunctionDecl {
+    pub config: TaskConfig,
+    pub body: FunctionBody,
+    pub mapping: Option<Mapping>,
+}
+
+pub(crate) struct ProcessorDecl {
+    pub policy: Box<dyn SchedulingPolicy>,
+    pub overheads: Overheads,
+    pub preemptive: bool,
+    pub engine: EngineKind,
+}
+
+/// A declarative capture of an MCSE system: functions, relations,
+/// processors and the function-to-processor mapping.
+///
+/// # Examples
+///
+/// The skeleton of the paper's Figure 6 system:
+///
+/// ```
+/// use rtsim_comm::EventPolicy;
+/// use rtsim_core::{Agent, Overheads, TaskConfig};
+/// use rtsim_kernel::{SimDuration, SimTime};
+/// use rtsim_mcse::SystemModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut model = SystemModel::new("figure6");
+/// model.event("Clk", EventPolicy::Fugitive);
+/// model.software_processor("Processor", Overheads::uniform(SimDuration::from_us(5)));
+/// model.function(TaskConfig::new("Clock"), |agent, io| {
+///     let clk = io.event("Clk");
+///     for _ in 0..3 {
+///         agent.delay(SimDuration::from_us(100));
+///         clk.signal(agent);
+///     }
+/// });
+/// model.function(TaskConfig::new("Function_1").priority(5), |agent, io| {
+///     let clk = io.event("Clk");
+///     for _ in 0..3 {
+///         clk.wait(agent);
+///         agent.execute(SimDuration::from_us(20));
+///     }
+/// });
+/// model.map("Clock", rtsim_mcse::Mapping::Hardware);
+/// model.map_to_processor("Function_1", "Processor");
+/// let mut system = model.elaborate()?;
+/// system.run_until(SimTime::ZERO + SimDuration::from_ms(1))?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct SystemModel {
+    pub(crate) name: String,
+    pub(crate) functions: BTreeMap<String, FunctionDecl>,
+    pub(crate) function_order: Vec<String>,
+    pub(crate) processors: BTreeMap<String, ProcessorDecl>,
+    pub(crate) processor_order: Vec<String>,
+    pub(crate) relations: BTreeMap<String, RelationDecl>,
+    pub(crate) constraints: Vec<TimingConstraint>,
+}
+
+impl SystemModel {
+    /// Creates an empty model.
+    pub fn new(name: &str) -> Self {
+        SystemModel {
+            name: name.to_owned(),
+            functions: BTreeMap::new(),
+            function_order: Vec::new(),
+            processors: BTreeMap::new(),
+            processor_order: Vec::new(),
+            relations: BTreeMap::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a function with the given task configuration and body.
+    /// Map it with [`map`](SystemModel::map) before elaboration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name exists.
+    pub fn function<F>(&mut self, config: TaskConfig, body: F) -> &mut Self
+    where
+        F: FnOnce(&mut dyn Agent, &Io) + Send + 'static,
+    {
+        let name = config.name.clone();
+        assert!(
+            !self.functions.contains_key(&name),
+            "duplicate function `{name}`"
+        );
+        self.function_order.push(name.clone());
+        self.functions.insert(
+            name,
+            FunctionDecl {
+                config,
+                body: Box::new(body),
+                mapping: None,
+            },
+        );
+        self
+    }
+
+    /// Declares a software processor with the paper's default behaviour
+    /// (priority-based preemptive scheduling) and the given overheads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a processor with the same name exists.
+    pub fn software_processor(&mut self, name: &str, overheads: Overheads) -> &mut Self {
+        self.software_processor_with(
+            name,
+            Box::new(rtsim_core::policies::PriorityPreemptive::new()),
+            overheads,
+            true,
+            EngineKind::ProcedureCall,
+        )
+    }
+
+    /// Declares a software processor with full control over policy, mode
+    /// and implementation strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a processor with the same name exists.
+    pub fn software_processor_with(
+        &mut self,
+        name: &str,
+        policy: Box<dyn SchedulingPolicy>,
+        overheads: Overheads,
+        preemptive: bool,
+        engine: EngineKind,
+    ) -> &mut Self {
+        assert!(
+            !self.processors.contains_key(name),
+            "duplicate processor `{name}`"
+        );
+        self.processor_order.push(name.to_owned());
+        self.processors.insert(
+            name.to_owned(),
+            ProcessorDecl {
+                policy,
+                overheads,
+                preemptive,
+                engine,
+            },
+        );
+        self
+    }
+
+    /// Declares an event relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a relation with the same name exists.
+    pub fn event(&mut self, name: &str, policy: EventPolicy) -> &mut Self {
+        self.add_relation(name, RelationDecl::Event(policy))
+    }
+
+    /// Declares a bounded message-queue relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a relation with the same name exists or `capacity` is 0.
+    pub fn queue(&mut self, name: &str, capacity: usize) -> &mut Self {
+        assert!(capacity > 0, "queue `{name}` needs a positive capacity");
+        self.add_relation(name, RelationDecl::Queue { capacity })
+    }
+
+    /// Declares a rendezvous (unbuffered, fully synchronizing) relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a relation with the same name exists.
+    pub fn rendezvous(&mut self, name: &str) -> &mut Self {
+        self.add_relation(name, RelationDecl::Rendezvous)
+    }
+
+    /// Declares a shared-variable relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a relation with the same name exists.
+    pub fn shared_var(&mut self, name: &str, initial: Message, mode: LockMode) -> &mut Self {
+        self.add_relation(name, RelationDecl::Var { mode, initial })
+    }
+
+    fn add_relation(&mut self, name: &str, decl: RelationDecl) -> &mut Self {
+        assert!(
+            !self.relations.contains_key(name),
+            "duplicate relation `{name}`"
+        );
+        self.relations.insert(name.to_owned(), decl);
+        self
+    }
+
+    /// Maps a function onto hardware or a software processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is unknown (declare it first).
+    pub fn map(&mut self, function: &str, mapping: Mapping) -> &mut Self {
+        let decl = self
+            .functions
+            .get_mut(function)
+            .unwrap_or_else(|| panic!("unknown function `{function}`"));
+        decl.mapping = Some(mapping);
+        self
+    }
+
+    /// Shorthand for mapping onto a software processor.
+    pub fn map_to_processor(&mut self, function: &str, processor: &str) -> &mut Self {
+        self.map(function, Mapping::Software(processor.to_owned()))
+    }
+
+    /// Adds a timing constraint, verified after simulation by
+    /// [`ElaboratedSystem::verify_constraints`] (the paper's stated
+    /// future work: "automatic verification of timing constraints by
+    /// simulation after setting these constraints in the initial system
+    /// model").
+    pub fn constraint(&mut self, constraint: TimingConstraint) -> &mut Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Validates the model and builds the executable simulation — the
+    /// paper's automatic SystemC code generation step.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::UnmappedFunction`] if a function has no mapping;
+    /// - [`ModelError::UnknownProcessor`] if a mapping names a processor
+    ///   that was never declared.
+    pub fn elaborate(self) -> Result<ElaboratedSystem, ModelError> {
+        ElaboratedSystem::build(self)
+    }
+
+    /// Convenience: declare a periodic function activating every `period`
+    /// (drift-free, anchored to its first activation), each activation
+    /// costing `cost` of CPU, for `activations` rounds.
+    pub fn periodic_function(
+        &mut self,
+        config: TaskConfig,
+        period: SimDuration,
+        cost: SimDuration,
+        activations: u64,
+    ) -> &mut Self {
+        let config = config.period(period);
+        self.function(config, move |agent, _io| {
+            let start = agent.now();
+            for k in 1..=activations {
+                agent.execute(cost);
+                if k == activations {
+                    break; // no pointless wake after the last job
+                }
+                let next = start + period * k;
+                let now = agent.now();
+                if next > now {
+                    agent.delay(next - now);
+                }
+            }
+        })
+    }
+}
+
+impl fmt::Debug for SystemModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemModel")
+            .field("name", &self.name)
+            .field("functions", &self.function_order)
+            .field("processors", &self.processor_order)
+            .field("relations", &self.relations.keys().collect::<Vec<_>>())
+            .field("constraints", &self.constraints.len())
+            .finish()
+    }
+}

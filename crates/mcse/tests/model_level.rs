@@ -1,0 +1,281 @@
+//! System-level tests of the MCSE layer: multi-processor pipelines,
+//! one-line HW/SW remapping, elaborated-system introspection, codegen on
+//! a realistic model, and constraint reporting.
+
+use rtsim_comm::EventPolicy;
+use rtsim_core::{EngineKind, Overheads, TaskConfig};
+use rtsim_kernel::{SimDuration, SimTime};
+use rtsim_mcse::{generate_freertos, Mapping, Message, SystemModel, TimingConstraint};
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_us(v)
+}
+
+/// A 3-stage pipeline with the middle stage's mapping parameterized.
+fn pipeline_model(middle: Mapping, frames: u64) -> SystemModel {
+    let mut model = SystemModel::new("pipeline");
+    model.queue("in", 4);
+    model.queue("out", 4);
+    model.software_processor("CPU_A", Overheads::zero());
+    model.software_processor("CPU_B", Overheads::zero());
+    model.function(TaskConfig::new("source"), move |agent, io| {
+        let q = io.queue("in");
+        for id in 0..frames {
+            agent.delay(us(100));
+            q.write(agent, Message::new(id, 64));
+        }
+    });
+    model.function(TaskConfig::new("transform").priority(5), move |agent, io| {
+        let input = io.queue("in");
+        let output = io.queue("out");
+        for _ in 0..frames {
+            let m = input.read(agent);
+            agent.execute(us(30));
+            output.write(agent, m);
+        }
+    });
+    model.function(TaskConfig::new("sink").priority(5), move |agent, io| {
+        let q = io.queue("out");
+        for expected in 0..frames {
+            let m = q.read(agent);
+            assert_eq!(m.id, expected);
+            agent.execute(us(10));
+        }
+    });
+    model.map("source", Mapping::Hardware);
+    model.map("transform", middle);
+    model.map_to_processor("sink", "CPU_B");
+    model
+}
+
+#[test]
+fn pipeline_crosses_processors() {
+    let mut system = pipeline_model(Mapping::Software("CPU_A".into()), 5)
+        .elaborate()
+        .unwrap();
+    system.run().unwrap();
+    // 5 frames, last produced at 500, +30 transform +10 sink.
+    assert_eq!(system.now(), SimTime::ZERO + us(540));
+    assert_eq!(system.processor_names().count(), 2);
+    assert!(system.task("transform").is_some());
+    assert!(system.task("source").is_none()); // hardware has no TaskHandle
+}
+
+#[test]
+fn remapping_a_function_is_one_line() {
+    // The MCSE promise: the same body runs mapped to hardware or to any
+    // processor. Timing shifts (hardware is concurrent), message counts
+    // do not.
+    let mut sw = pipeline_model(Mapping::Software("CPU_B".into()), 5)
+        .elaborate()
+        .unwrap();
+    sw.run().unwrap();
+    let mut hw = pipeline_model(Mapping::Hardware, 5).elaborate().unwrap();
+    hw.run().unwrap();
+    // Both deliver all frames...
+    for system in [&sw, &hw] {
+        let trace = system.trace();
+        let q_out = trace.actor_by_name("out").unwrap();
+        let stats = rtsim_trace::Statistics::from_trace(&trace, system.now());
+        assert_eq!(stats.relation(q_out).unwrap().writes, 5);
+        assert_eq!(stats.relation(q_out).unwrap().reads, 5);
+    }
+    // ...and here both mappings even finish at the same instant (the
+    // pipeline is source-limited), which is exactly the kind of insight
+    // the exploration is for.
+    assert_eq!(sw.now(), hw.now());
+}
+
+#[test]
+fn sharing_a_processor_serializes_the_stages() {
+    // transform and sink on one CPU: still correct, same end time here
+    // (source-limited), but the processor now shows two tasks competing.
+    let mut system = pipeline_model(Mapping::Software("CPU_B".into()), 5)
+        .elaborate()
+        .unwrap();
+    system.run().unwrap();
+    let stats = system.processor_stats("CPU_B").unwrap();
+    assert!(stats.dispatches >= 10, "{stats:?}");
+}
+
+#[test]
+fn constraints_report_over_the_whole_model() {
+    let mut model = pipeline_model(Mapping::Software("CPU_A".into()), 5);
+    model.constraint(TimingConstraint::CompletionWithin {
+        name: "transform-deadline".into(),
+        function: "transform".into(),
+        bound: us(30), // each job: read satisfied -> 30 us execute -> block
+    });
+    model.constraint(TimingConstraint::MinActivity {
+        name: "sink-progress".into(),
+        function: "sink".into(),
+        min_ratio: 0.05,
+    });
+    model.constraint(TimingConstraint::MinActivity {
+        name: "impossible".into(),
+        function: "sink".into(),
+        min_ratio: 0.99,
+    });
+    let mut system = model.elaborate().unwrap();
+    system.run().unwrap();
+    let report = system.verify_constraints();
+    assert!(report.results[0].satisfied, "{report}");
+    assert!(report.results[1].satisfied, "{report}");
+    assert!(!report.results[2].satisfied, "{report}");
+    assert_eq!(report.violations().count(), 1);
+    let rendered = report.to_string();
+    assert!(rendered.contains("[PASS] transform-deadline"));
+    assert!(rendered.contains("[FAIL] impossible"));
+}
+
+#[test]
+fn codegen_covers_multi_processor_models() {
+    let model = pipeline_model(Mapping::Software("CPU_A".into()), 5);
+    let code = generate_freertos(&model);
+    assert!(code.file("CPU_A.c").unwrap().contains("task_transform"));
+    assert!(code.file("CPU_B.c").unwrap().contains("task_sink"));
+    // The hardware source appears in no skeleton.
+    assert!(!code.file("CPU_A.c").unwrap().contains("task_source"));
+    assert!(!code.file("CPU_B.c").unwrap().contains("task_source"));
+    assert!(code.file("relations.h").unwrap().contains("q_in"));
+    assert!(code.file("relations.h").unwrap().contains("q_out"));
+}
+
+#[test]
+fn periodic_function_helper_is_drift_free() {
+    let mut model = SystemModel::new("periodic");
+    model.software_processor("CPU", Overheads::zero());
+    model.periodic_function(TaskConfig::new("tick").priority(1), us(100), us(10), 5);
+    model.map_to_processor("tick", "CPU");
+    let mut system = model.elaborate().unwrap();
+    system.run().unwrap();
+    let trace = system.trace();
+    let actor = trace.actor_by_name("tick").unwrap();
+    let runs: Vec<u64> = trace
+        .records_for(actor)
+        .filter_map(|r| match r.data {
+            rtsim_trace::TraceData::State(rtsim_trace::TaskState::Running) => Some(r.at.as_us()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(runs, vec![0, 100, 200, 300, 400]);
+}
+
+#[test]
+fn engine_choice_is_per_processor() {
+    let mut model = SystemModel::new("mixed_engines");
+    model.software_processor_with(
+        "A",
+        Box::new(rtsim_core::policies::PriorityPreemptive::new()),
+        Overheads::zero(),
+        true,
+        EngineKind::ProcedureCall,
+    );
+    model.software_processor_with(
+        "B",
+        Box::new(rtsim_core::policies::PriorityPreemptive::new()),
+        Overheads::zero(),
+        true,
+        EngineKind::DedicatedThread,
+    );
+    model.queue("link", 2);
+    model.function(TaskConfig::new("tx").priority(1), |agent, io| {
+        let q = io.queue("link");
+        for id in 0..3 {
+            agent.execute(us(10));
+            q.write(agent, Message::new(id, 1));
+        }
+    });
+    model.function(TaskConfig::new("rx").priority(1), |agent, io| {
+        let q = io.queue("link");
+        for _ in 0..3 {
+            let _ = q.read(agent);
+            agent.execute(us(10));
+        }
+    });
+    model.map_to_processor("tx", "A");
+    model.map_to_processor("rx", "B");
+    let mut system = model.elaborate().unwrap();
+    system.run().unwrap();
+    // tx: 10, 20, 30; rx overlaps: last read at 30, done at 40.
+    assert_eq!(system.now(), SimTime::ZERO + us(40));
+}
+
+#[test]
+fn processor_utilization_reflects_the_load() {
+    let mut system = pipeline_model(Mapping::Software("CPU_A".into()), 5)
+        .elaborate()
+        .unwrap();
+    system.run().unwrap();
+    // transform: 5 × 30 µs on CPU_A over 540 µs ≈ 27.8 %.
+    let util_a = system.processor_utilization("CPU_A").unwrap();
+    assert!((util_a - 150.0 / 540.0).abs() < 1e-9, "{util_a}");
+    // sink: 5 × 10 µs on CPU_B ≈ 9.3 %.
+    let util_b = system.processor_utilization("CPU_B").unwrap();
+    assert!((util_b - 50.0 / 540.0).abs() < 1e-9, "{util_b}");
+    assert_eq!(system.processor_utilization("nope"), None);
+    assert_eq!(system.placement("transform"), Some("CPU_A"));
+    assert_eq!(system.placement("source"), None);
+}
+
+#[test]
+fn rendezvous_relation_through_the_model_layer() {
+    let mut model = SystemModel::new("rv");
+    model.rendezvous("handoff");
+    model.software_processor("CPU", Overheads::zero());
+    model.function(TaskConfig::new("offer").priority(2), |agent, io| {
+        let rv = io.rendezvous("handoff");
+        rv.write(agent, Message::new(9, 1)); // blocks until taken at 40
+        assert_eq!(agent.now().as_us(), 40);
+    });
+    model.function(TaskConfig::new("take").priority(1), |agent, io| {
+        let rv = io.rendezvous("handoff");
+        agent.delay(us(40));
+        assert_eq!(rv.read(agent).id, 9);
+    });
+    model.map_to_processor("offer", "CPU");
+    model.map_to_processor("take", "CPU");
+    let mut system = model.elaborate().unwrap();
+    system.run().unwrap();
+    // codegen knows the new relation kind too
+    let mut model = SystemModel::new("rv2");
+    model.rendezvous("handoff");
+    model.software_processor("CPU", Overheads::zero());
+    let code = generate_freertos(&model);
+    assert!(code.file("relations.h").unwrap().contains("rendezvous `handoff`"));
+    assert!(code
+        .file("relations.c")
+        .unwrap()
+        .contains("xQueueCreate(1, sizeof(message_t));"));
+}
+
+#[test]
+fn processor_gantt_shows_occupancy() {
+    let mut system = pipeline_model(Mapping::Software("CPU_B".into()), 5)
+        .elaborate()
+        .unwrap();
+    system.run().unwrap();
+    let gantt = system.processor_gantt("CPU_B", 60, system.now());
+    // Both tasks appear: T=transform, S=sink, with idle gaps.
+    assert!(gantt.contains('T'), "{gantt}");
+    assert!(gantt.contains('S'), "{gantt}");
+    assert!(gantt.contains('.'), "{gantt}");
+    assert!(gantt.contains("T=transform"));
+    assert!(gantt.contains("S=sink"));
+}
+
+#[test]
+fn io_lookup_of_unknown_relation_panics_inside_the_run() {
+    let mut model = SystemModel::new("typo");
+    model.software_processor("CPU", Overheads::zero());
+    model.event("real_event", EventPolicy::Boolean);
+    model.function(TaskConfig::new("task"), |agent, io| {
+        let _ = io.event("mistyped_event"); // must fail loudly
+        agent.execute(us(1));
+    });
+    model.map_to_processor("task", "CPU");
+    let mut system = model.elaborate().unwrap();
+    let err = system.run().unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("mistyped_event"), "{message}");
+}

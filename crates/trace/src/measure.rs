@@ -1,0 +1,316 @@
+//! TimeLine measurements: the programmatic version of "measuring with the
+//! cursor" on the paper's TimeLine chart (§5: *"we can measure the time
+//! spent between an external event and the system's reaction"*).
+
+use rtsim_kernel::{SimDuration, SimTime};
+
+use crate::record::{ActorId, TaskState, TraceData};
+use crate::recorder::Trace;
+
+/// Measurement helpers over a [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_kernel::SimTime;
+/// use rtsim_trace::{ActorKind, Measure, TaskState, TraceRecorder};
+///
+/// let rec = TraceRecorder::new();
+/// let clk = rec.register("Clock", ActorKind::Task);
+/// let f1 = rec.register("Function_1", ActorKind::Task);
+/// rec.annotate(clk, SimTime::from_ps(100), "clk");
+/// rec.state(f1, SimTime::from_ps(115), TaskState::Running);
+/// let trace = rec.snapshot();
+/// let m = Measure::new(&trace);
+/// let latency = m.reaction_time("clk", f1).unwrap();
+/// assert_eq!(latency.as_ps(), 15);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Measure<'a> {
+    trace: &'a Trace,
+}
+
+impl<'a> Measure<'a> {
+    /// Wraps a trace for measurement.
+    pub fn new(trace: &'a Trace) -> Self {
+        Measure { trace }
+    }
+
+    /// First time `actor` enters `state` at or after `after`.
+    pub fn first_transition_to(
+        &self,
+        actor: ActorId,
+        state: TaskState,
+        after: SimTime,
+    ) -> Option<SimTime> {
+        self.trace.records_for(actor).find_map(|r| match r.data {
+            TraceData::State(s) if s == state && r.at >= after => Some(r.at),
+            _ => None,
+        })
+    }
+
+    /// Every time `actor` enters `state`.
+    pub fn transitions_to(&self, actor: ActorId, state: TaskState) -> Vec<SimTime> {
+        self.trace
+            .records_for(actor)
+            .filter_map(|r| match r.data {
+                TraceData::State(s) if s == state => Some(r.at),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Latency from the first occurrence of annotation `label` to the next
+    /// time `reactor` starts Running — the paper's external-event-to-
+    /// reaction measurement.
+    pub fn reaction_time(&self, label: &str, reactor: ActorId) -> Option<SimDuration> {
+        let stimulus = *self.trace.annotation_times(label).first()?;
+        let reaction = self.first_transition_to(reactor, TaskState::Running, stimulus)?;
+        Some(reaction - stimulus)
+    }
+
+    /// Latencies from *every* occurrence of annotation `label` to the next
+    /// Running transition of `reactor`. Occurrences with no subsequent
+    /// reaction are omitted.
+    pub fn reaction_times(&self, label: &str, reactor: ActorId) -> Vec<SimDuration> {
+        self.trace
+            .annotation_times(label)
+            .into_iter()
+            .filter_map(|stim| {
+                self.first_transition_to(reactor, TaskState::Running, stim)
+                    .map(|r| r - stim)
+            })
+            .collect()
+    }
+
+    /// Total time `actor` spent in `state` within `[from, until]`.
+    pub fn time_in_state(
+        &self,
+        actor: ActorId,
+        state: TaskState,
+        from: SimTime,
+        until: SimTime,
+    ) -> SimDuration {
+        self.trace
+            .state_intervals(actor, until)
+            .into_iter()
+            .filter(|&(_, _, s)| s == state)
+            .map(|(s, e, _)| {
+                let s = s.max(from).min(until);
+                let e = e.max(from).min(until);
+                e - s
+            })
+            .sum()
+    }
+
+    /// Response time of one activation: given the instant a task became
+    /// Ready (or Running), the time until it next enters Waiting or
+    /// Terminated — i.e. completes its current processing.
+    pub fn completion_after(&self, actor: ActorId, activation: SimTime) -> Option<SimTime> {
+        self.trace.records_for(actor).find_map(|r| match r.data {
+            TraceData::State(TaskState::Waiting | TaskState::Terminated)
+                if r.at > activation =>
+            {
+                Some(r.at)
+            }
+            _ => None,
+        })
+    }
+
+    /// Splits a task's trace into *jobs*: a job starts when the task
+    /// becomes Ready out of a synchronization wait (or at creation) and
+    /// completes at the next Waiting/Terminated record. Preemptions and
+    /// resource waits are within-job.
+    pub fn jobs(&self, actor: ActorId) -> Vec<Job> {
+        let seq: Vec<(SimTime, TaskState)> = self
+            .trace
+            .records_for(actor)
+            .filter_map(|r| match r.data {
+                TraceData::State(s) => Some((r.at, s)),
+                _ => None,
+            })
+            .collect();
+        let mut jobs = Vec::new();
+        for (i, &(at, state)) in seq.iter().enumerate() {
+            let activation = state == TaskState::Ready
+                && matches!(
+                    seq.get(i.wrapping_sub(1)).map(|&(_, s)| s),
+                    None | Some(TaskState::Created | TaskState::Waiting)
+                );
+            if !activation {
+                continue;
+            }
+            let completed = seq[i + 1..].iter().find_map(|&(t, s)| {
+                matches!(s, TaskState::Waiting | TaskState::Terminated).then_some(t)
+            });
+            let started = seq[i + 1..].iter().find_map(|&(t, s)| {
+                (s == TaskState::Running
+                    && completed.is_none_or(|c| t <= c))
+                .then_some(t)
+            });
+            jobs.push(Job {
+                activated: at,
+                started,
+                completed,
+            });
+        }
+        jobs
+    }
+
+    /// Per-job response times (activation → completion) of a task.
+    /// Incomplete final jobs are omitted.
+    pub fn response_times(&self, actor: ActorId) -> Vec<SimDuration> {
+        self.jobs(actor)
+            .into_iter()
+            .filter_map(|j| j.response())
+            .collect()
+    }
+
+    /// Per-job start latencies (activation → first Running), the release
+    /// jitter observed by the task's output.
+    pub fn start_latencies(&self, actor: ActorId) -> Vec<SimDuration> {
+        self.jobs(actor)
+            .into_iter()
+            .filter_map(|j| j.started.map(|s| s - j.activated))
+            .collect()
+    }
+}
+
+/// One activation of a task, as recovered from the trace by
+/// [`Measure::jobs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// When the task became Ready.
+    pub activated: SimTime,
+    /// When it first ran for this job, if it did.
+    pub started: Option<SimTime>,
+    /// When it blocked or terminated again, if it did.
+    pub completed: Option<SimTime>,
+}
+
+impl Job {
+    /// Activation-to-completion response time, if the job completed.
+    pub fn response(&self) -> Option<SimDuration> {
+        self.completed.map(|c| c - self.activated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ActorKind;
+    use crate::recorder::TraceRecorder;
+
+    fn ps(v: u64) -> SimTime {
+        SimTime::from_ps(v)
+    }
+
+    #[test]
+    fn transitions_and_first_transition() {
+        let rec = TraceRecorder::new();
+        let t = rec.register("T", ActorKind::Task);
+        rec.state(t, ps(10), TaskState::Running);
+        rec.state(t, ps(20), TaskState::Waiting);
+        rec.state(t, ps(30), TaskState::Running);
+        let trace = rec.snapshot();
+        let m = Measure::new(&trace);
+        assert_eq!(
+            m.transitions_to(t, TaskState::Running),
+            vec![ps(10), ps(30)]
+        );
+        assert_eq!(
+            m.first_transition_to(t, TaskState::Running, ps(11)),
+            Some(ps(30))
+        );
+        assert_eq!(m.first_transition_to(t, TaskState::Ready, ps(0)), None);
+    }
+
+    #[test]
+    fn reaction_times_per_stimulus() {
+        let rec = TraceRecorder::new();
+        let clk = rec.register("clk", ActorKind::Task);
+        let t = rec.register("T", ActorKind::Task);
+        rec.annotate(clk, ps(0), "tick");
+        rec.state(t, ps(5), TaskState::Running);
+        rec.state(t, ps(10), TaskState::Waiting);
+        rec.annotate(clk, ps(100), "tick");
+        rec.state(t, ps(120), TaskState::Running);
+        let trace = rec.snapshot();
+        let m = Measure::new(&trace);
+        assert_eq!(
+            m.reaction_times("tick", t),
+            vec![SimDuration::from_ps(5), SimDuration::from_ps(20)]
+        );
+        assert_eq!(m.reaction_time("tick", t), Some(SimDuration::from_ps(5)));
+        assert_eq!(m.reaction_time("missing", t), None);
+    }
+
+    #[test]
+    fn time_in_state_is_window_clipped() {
+        let rec = TraceRecorder::new();
+        let t = rec.register("T", ActorKind::Task);
+        rec.state(t, ps(0), TaskState::Running);
+        rec.state(t, ps(100), TaskState::Waiting);
+        let trace = rec.snapshot();
+        let m = Measure::new(&trace);
+        assert_eq!(
+            m.time_in_state(t, TaskState::Running, ps(25), ps(75)),
+            SimDuration::from_ps(50)
+        );
+    }
+
+    #[test]
+    fn jobs_and_response_times() {
+        let rec = TraceRecorder::new();
+        let t = rec.register("T", ActorKind::Task);
+        rec.state(t, ps(0), TaskState::Created);
+        rec.state(t, ps(0), TaskState::Ready);
+        rec.state(t, ps(5), TaskState::Running);
+        rec.state(t, ps(20), TaskState::Waiting); // job 1: response 20
+        rec.state(t, ps(50), TaskState::Ready);
+        rec.state(t, ps(50), TaskState::Running);
+        rec.state(t, ps(60), TaskState::Ready); // preemption: same job
+        rec.state(t, ps(70), TaskState::Running);
+        rec.state(t, ps(95), TaskState::Terminated); // job 2: response 45
+        let trace = rec.snapshot();
+        let m = Measure::new(&trace);
+        let jobs = m.jobs(t);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].started, Some(ps(5)));
+        assert_eq!(
+            m.response_times(t),
+            vec![SimDuration::from_ps(20), SimDuration::from_ps(45)]
+        );
+        assert_eq!(
+            m.start_latencies(t),
+            vec![SimDuration::from_ps(5), SimDuration::from_ps(0)]
+        );
+    }
+
+    #[test]
+    fn incomplete_job_has_no_response() {
+        let rec = TraceRecorder::new();
+        let t = rec.register("T", ActorKind::Task);
+        rec.state(t, ps(0), TaskState::Ready);
+        rec.state(t, ps(5), TaskState::Running); // never completes
+        let trace = rec.snapshot();
+        let m = Measure::new(&trace);
+        let jobs = m.jobs(t);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].response(), None);
+        assert!(m.response_times(t).is_empty());
+    }
+
+    #[test]
+    fn completion_after_activation() {
+        let rec = TraceRecorder::new();
+        let t = rec.register("T", ActorKind::Task);
+        rec.state(t, ps(0), TaskState::Ready);
+        rec.state(t, ps(5), TaskState::Running);
+        rec.state(t, ps(50), TaskState::Waiting);
+        let trace = rec.snapshot();
+        let m = Measure::new(&trace);
+        assert_eq!(m.completion_after(t, ps(0)), Some(ps(50)));
+        assert_eq!(m.completion_after(t, ps(60)), None);
+    }
+}

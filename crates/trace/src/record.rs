@@ -1,0 +1,243 @@
+//! Trace record types: what the simulation reports about itself.
+//!
+//! The vocabulary mirrors the paper's TimeLine chart (§5): task state
+//! lanes, RTOS overhead segments, and communication accesses drawn as
+//! arrows whose style tells read from write from signal.
+
+use std::fmt;
+
+use rtsim_kernel::{SimDuration, SimTime};
+
+/// Identifies a traced entity (task, processor, or communication relation).
+///
+/// Assigned densely by [`TraceRecorder::register`] in registration order.
+///
+/// [`TraceRecorder::register`]: crate::TraceRecorder::register
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub(crate) u32);
+
+impl ActorId {
+    /// Returns the raw index of this actor.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// What kind of entity an actor is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActorKind {
+    /// A software task (an MCSE *function* mapped on a processor) or a
+    /// hardware function.
+    Task,
+    /// A processor running an RTOS.
+    Processor,
+    /// A communication relation (event, message queue, shared variable).
+    Relation,
+}
+
+impl fmt::Display for ActorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActorKind::Task => "task",
+            ActorKind::Processor => "processor",
+            ActorKind::Relation => "relation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Task lifecycle states, exactly the lanes of the paper's TimeLine chart:
+/// *Creation, Running, Destruction, Waiting for processor availability
+/// (Ready), Waiting for a synchronization (Waiting), Waiting for
+/// resource*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// Task exists but has not started (paper: *Creation*).
+    Created,
+    /// Executing on its processor.
+    Running,
+    /// Ready to run, waiting for the processor (e.g. preempted).
+    Ready,
+    /// Blocked on a synchronization (event wait, empty queue...).
+    Waiting,
+    /// Blocked on a mutual-exclusion resource (shared variable).
+    WaitingResource,
+    /// Task body finished (paper: *Destruction*).
+    Terminated,
+}
+
+impl TaskState {
+    /// Single-character glyph used by the ASCII TimeLine renderer.
+    pub const fn glyph(self) -> char {
+        match self {
+            TaskState::Created => ' ',
+            TaskState::Running => '#',
+            TaskState::Ready => '+',
+            TaskState::Waiting => '.',
+            TaskState::WaitingResource => 'x',
+            TaskState::Terminated => ' ',
+        }
+    }
+}
+
+impl fmt::Display for TaskState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskState::Created => "created",
+            TaskState::Running => "running",
+            TaskState::Ready => "ready",
+            TaskState::Waiting => "waiting",
+            TaskState::WaitingResource => "waiting-resource",
+            TaskState::Terminated => "terminated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three components of RTOS overhead the paper models (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverheadKind {
+    /// Copying the suspended task's context out of the processor registers.
+    ContextSave,
+    /// Running the scheduling algorithm to pick the next task.
+    Scheduling,
+    /// Loading the elected task's context into the processor registers.
+    ContextLoad,
+}
+
+impl fmt::Display for OverheadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OverheadKind::ContextSave => "context-save",
+            OverheadKind::Scheduling => "scheduling",
+            OverheadKind::ContextLoad => "context-load",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Kind of access to a communication relation (the arrow style in the
+/// paper's TimeLine: read, write, signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommKind {
+    /// Consuming access (queue read, shared-variable read, event wait
+    /// satisfied).
+    Read,
+    /// Producing access (queue write, shared-variable write).
+    Write,
+    /// Event signalling.
+    Signal,
+}
+
+impl CommKind {
+    /// Single-character glyph used by the ASCII TimeLine renderer.
+    pub const fn glyph(self) -> char {
+        match self {
+            CommKind::Read => 'R',
+            CommKind::Write => 'W',
+            CommKind::Signal => 'S',
+        }
+    }
+}
+
+impl fmt::Display for CommKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommKind::Read => "read",
+            CommKind::Write => "write",
+            CommKind::Signal => "signal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Payload of one trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceData {
+    /// The actor (a task) entered `state`.
+    State(TaskState),
+    /// RTOS overhead of `kind` lasting `duration` began, attributed to the
+    /// actor on whose behalf it is spent.
+    Overhead {
+        /// Which of the three overhead components.
+        kind: OverheadKind,
+        /// Length of the overhead segment.
+        duration: SimDuration,
+    },
+    /// The actor accessed communication relation `relation`.
+    Comm {
+        /// The relation being accessed.
+        relation: ActorId,
+        /// Read, write or signal.
+        kind: CommKind,
+    },
+    /// A message queue's occupancy changed (for utilization statistics).
+    QueueDepth {
+        /// Messages in the queue after the operation.
+        depth: usize,
+        /// Queue capacity.
+        capacity: usize,
+    },
+    /// A mutual-exclusion resource was acquired (`true`) or released.
+    ResourceHeld(bool),
+    /// Free-form user annotation, the anchor for TimeLine measurements.
+    Annotation(String),
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// When it happened.
+    pub at: SimTime,
+    /// Global sequence number: total order among same-instant records.
+    pub seq: u64,
+    /// Who it happened to.
+    pub actor: ActorId,
+    /// What happened.
+    pub data: TraceData,
+}
+
+/// Static description of one registered actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorInfo {
+    /// Display name (task/function/relation name).
+    pub name: String,
+    /// Entity kind.
+    pub kind: ActorKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_distinct_for_visible_states() {
+        let glyphs = [
+            TaskState::Running.glyph(),
+            TaskState::Ready.glyph(),
+            TaskState::Waiting.glyph(),
+            TaskState::WaitingResource.glyph(),
+        ];
+        for (i, a) in glyphs.iter().enumerate() {
+            for b in &glyphs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(TaskState::WaitingResource.to_string(), "waiting-resource");
+        assert_eq!(OverheadKind::Scheduling.to_string(), "scheduling");
+        assert_eq!(CommKind::Signal.to_string(), "signal");
+        assert_eq!(ActorKind::Processor.to_string(), "processor");
+        assert_eq!(ActorId(3).to_string(), "actor#3");
+    }
+}

@@ -1,0 +1,72 @@
+//! # rtsim — a generic RTOS model for real-time systems simulation
+//!
+//! Facade crate of the `rtsim` workspace, the Rust reproduction of
+//! *"A Generic RTOS Model for Real-time Systems Simulation with SystemC"*
+//! (R. Le Moigne, O. Pasquier, J-P. Calvez — DATE 2004). It re-exports
+//! the whole stack:
+//!
+//! - [`kernel`] — the discrete-event simulation engine (the SystemC
+//!   stand-in): simulated time, events, cooperative processes;
+//! - [`trace`] — TimeLine charts, statistics and measurements;
+//! - [`core`] — the generic RTOS model itself: processors, tasks,
+//!   scheduling policies, overheads, both implementation strategies;
+//! - [`comm`] — the MCSE communication relations: events, message
+//!   queues, shared variables;
+//! - [`mcse`] — functional-model capture, elaboration and timing-
+//!   constraint verification.
+//!
+//! The most common items are re-exported at the crate root.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtsim::{Processor, ProcessorConfig, SimDuration, Simulator, TaskConfig, TraceRecorder};
+//!
+//! # fn main() -> Result<(), rtsim::KernelError> {
+//! let mut sim = Simulator::new();
+//! let rec = TraceRecorder::new();
+//! let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU0"));
+//! cpu.spawn_task(&mut sim, TaskConfig::new("hello").priority(1), |task| {
+//!     task.execute(SimDuration::from_us(42));
+//! });
+//! sim.run()?;
+//! assert_eq!(sim.now().as_us(), 42);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for the paper's Figure 6/7 systems and
+//! the MPEG-2 SoC exploration, and `rtsim-bench` for the benchmark
+//! harnesses regenerating every figure of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub mod scenarios;
+
+pub use rtsim_comm as comm;
+pub use rtsim_core as core;
+pub use rtsim_kernel as kernel;
+pub use rtsim_mcse as mcse;
+pub use rtsim_trace as trace;
+
+pub use rtsim_comm::{EventPolicy, LockMode, MessageQueue, Rendezvous, RtEvent, SharedVar};
+pub use rtsim_core::{
+    assign_rate_monotonic, liu_layland_bound, response_time_analysis, schedulable,
+    spawn_hw_function, spawn_interrupt_at, spawn_interrupt_schedule, spawn_periodic_interrupt,
+    spawn_polling_server, utilization, Agent, AperiodicQueue, CompletedRequest, EngineKind,
+    OverheadSpec, Overheads, PeriodicTask, PollingServerConfig, Priority, Processor,
+    ProcessorConfig, ResponseTime, SchedulerStats, SchedulingPolicy, TaskConfig, TaskCtx,
+    TaskHandle, TaskId, TaskState, Waiter,
+};
+pub use rtsim_core::policies;
+pub use rtsim_kernel::{
+    Event, KernelError, KernelStats, ProcessContext, SimDuration, SimTime, Simulator, Wake,
+};
+pub use rtsim_mcse::{
+    generate_freertos, run_variants, ConstraintReport, ElaboratedSystem, GeneratedCode, Io,
+    Mapping, Message, ModelError, SystemModel, TimingConstraint, Variant, VariantOutcome,
+};
+pub use rtsim_trace::{
+    write_csv, write_vcd, ActorId, ActorKind, CommKind, DurationSummary, Job, Measure, OverheadKind,
+    Statistics, TimelineOptions, Trace, TraceRecorder,
+};

@@ -1,0 +1,90 @@
+//! Golden-number regression pins over the large scenarios.
+//!
+//! Every number here is fully determined by the model (the stack is
+//! deterministic), so any change is a *behavioural* change of the RTOS
+//! model, the kernel or a scenario — it must be reviewed, not rubber-
+//! stamped. Update a pin only together with an explanation of which
+//! semantic change moved it.
+
+use rtsim::scenarios::{
+    ab_stress_system, automotive_system, figure6_system, injection_latencies, mpeg2_latencies,
+    mpeg2_system, AutomotiveConfig, Mpeg2Config,
+};
+use rtsim::{DurationSummary, EngineKind, SimDuration, SimTime};
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_us(v)
+}
+
+#[test]
+fn figure6_pins() {
+    for engine in [EngineKind::ProcedureCall, EngineKind::DedicatedThread] {
+        let mut system = figure6_system(engine).elaborate().unwrap();
+        system.run().unwrap();
+        assert_eq!(system.now(), SimTime::ZERO + us(780), "{engine}");
+        let trace = system.trace();
+        assert_eq!(trace.records().len(), 73, "{engine}");
+        let stats = system.processor_stats("Processor").unwrap();
+        assert_eq!(stats.dispatches, 9, "{engine}");
+        assert_eq!(stats.preemptions, 2, "{engine}");
+        assert_eq!(stats.scheduler_runs, 9, "{engine}");
+    }
+}
+
+#[test]
+fn mpeg2_pins() {
+    let config = Mpeg2Config {
+        frames: 25,
+        ..Mpeg2Config::default()
+    };
+    let mut system = mpeg2_system(&config).elaborate().unwrap();
+    system.run().unwrap();
+    assert_eq!(system.now(), SimTime::from_ps(107_840_000_000));
+    let latencies = mpeg2_latencies(&system.trace());
+    assert_eq!(latencies.len(), 25);
+    let summary = DurationSummary::from_durations(latencies).unwrap();
+    assert_eq!(summary.min, us(4_278));
+    assert_eq!(summary.max, us(4_474));
+    // CPU0 is the busiest software processor; its utilization is a pinned
+    // fraction of the makespan.
+    let util = system.processor_utilization("CPU0").unwrap();
+    assert!((util - 0.4107).abs() < 0.001, "{util}");
+    let stats = system.processor_stats("CPU0").unwrap();
+    assert_eq!(stats.dispatches, 222);
+    assert_eq!(stats.preemptions, 41);
+}
+
+#[test]
+fn automotive_pins() {
+    let config = AutomotiveConfig::default();
+    let mut system = automotive_system(&config).elaborate().unwrap();
+    system.run().unwrap();
+    let latencies = injection_latencies(&system.trace());
+    assert_eq!(latencies.len(), 20);
+    let summary = DurationSummary::from_durations(latencies).unwrap();
+    // Steady-state pulses follow a fixed 195 µs path (isr + injection +
+    // RTOS overheads); occasional pulses coinciding with knock/diagnostic
+    // activity pay one extra 5 µs overhead window.
+    assert_eq!(summary.min, us(195));
+    assert_eq!(summary.max, us(200));
+    let report = system.verify_constraints();
+    assert!(report.all_satisfied(), "{report}");
+}
+
+#[test]
+fn ab_stress_pins() {
+    let mut b = ab_stress_system(EngineKind::ProcedureCall, 6, 50)
+        .elaborate()
+        .unwrap();
+    b.run().unwrap();
+    let mut a = ab_stress_system(EngineKind::DedicatedThread, 6, 50)
+        .elaborate()
+        .unwrap();
+    a.run().unwrap();
+    // Wall-clock differs; switch counts are pinned and B's is smaller.
+    let sw_b = b.kernel_stats().process_switches;
+    let sw_a = a.kernel_stats().process_switches;
+    assert_eq!(sw_b, 1_783);
+    assert_eq!(sw_a, 2_188);
+    assert!(sw_a > sw_b);
+}
