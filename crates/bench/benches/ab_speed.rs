@@ -1,11 +1,11 @@
-//! Criterion bench for the paper's §4 claim: the procedure-call RTOS
-//! model (approach B) simulates faster than the dedicated-RTOS-thread
-//! model (approach A), because it removes two coroutine switches per
+//! Bench for the paper's §4 claim: the procedure-call RTOS model
+//! (approach B) simulates faster than the dedicated-RTOS-thread model
+//! (approach A), because it removes two coroutine switches per
 //! scheduling action.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtsim::scenarios::ab_stress_system;
 use rtsim::EngineKind;
+use rtsim_bench::harness::BenchGroup;
 
 fn run(engine: EngineKind, tasks: usize, rounds: u64) {
     let mut system = ab_stress_system(engine, tasks, rounds)
@@ -15,23 +15,15 @@ fn run(engine: EngineKind, tasks: usize, rounds: u64) {
     std::hint::black_box(system.kernel_stats());
 }
 
-fn ab_speed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ab_speed");
+fn main() {
+    let mut group = BenchGroup::new("ab_speed");
     group.sample_size(10);
     for &(tasks, rounds) in &[(4usize, 100u64), (8, 100), (16, 100)] {
-        group.bench_with_input(
-            BenchmarkId::new("dedicated_thread", format!("{tasks}x{rounds}")),
-            &(tasks, rounds),
-            |b, &(tasks, rounds)| b.iter(|| run(EngineKind::DedicatedThread, tasks, rounds)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("procedure_call", format!("{tasks}x{rounds}")),
-            &(tasks, rounds),
-            |b, &(tasks, rounds)| b.iter(|| run(EngineKind::ProcedureCall, tasks, rounds)),
-        );
+        group.bench(&format!("dedicated_thread/{tasks}x{rounds}"), || {
+            run(EngineKind::DedicatedThread, tasks, rounds)
+        });
+        group.bench(&format!("procedure_call/{tasks}x{rounds}"), || {
+            run(EngineKind::ProcedureCall, tasks, rounds)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, ab_speed);
-criterion_main!(benches);

@@ -2,11 +2,11 @@
 //! event signalling, and shared-variable locking — the per-transaction
 //! host cost of the model's §2 relations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rtsim::{
     EventPolicy, LockMode, MessageQueue, Processor, ProcessorConfig, RtEvent, SharedVar,
     SimDuration, Simulator, TaskConfig, TraceRecorder,
 };
+use rtsim_bench::harness::BenchGroup;
 
 fn queue_round_trips(rounds: u64, traced: bool) {
     let mut sim = Simulator::new();
@@ -72,24 +72,18 @@ fn lock_contention(rounds: u64, mode: LockMode) {
     sim.run().expect("run");
 }
 
-fn comm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("comm");
+fn main() {
+    let mut group = BenchGroup::new("comm");
     group.sample_size(10);
-    group.bench_function("queue_1000_roundtrips_untraced", |b| {
-        b.iter(|| queue_round_trips(1_000, false))
+    group.bench("queue_1000_roundtrips_untraced", || {
+        queue_round_trips(1_000, false)
     });
-    group.bench_function("queue_1000_roundtrips_traced", |b| {
-        b.iter(|| queue_round_trips(1_000, true))
+    group.bench("queue_1000_roundtrips_traced", || {
+        queue_round_trips(1_000, true)
     });
-    group.bench_function("event_1000_signals", |b| b.iter(|| event_storm(1_000)));
-    group.bench_function("mutex_500_plain", |b| {
-        b.iter(|| lock_contention(500, LockMode::Plain))
+    group.bench("event_1000_signals", || event_storm(1_000));
+    group.bench("mutex_500_plain", || lock_contention(500, LockMode::Plain));
+    group.bench("mutex_500_inheritance", || {
+        lock_contention(500, LockMode::PriorityInheritance)
     });
-    group.bench_function("mutex_500_inheritance", |b| {
-        b.iter(|| lock_contention(500, LockMode::PriorityInheritance))
-    });
-    group.finish();
 }
-
-criterion_group!(benches, comm);
-criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! throughput (timer wheel) and event ping-pong (coroutine handoff cost —
 //! the raw quantity behind the §4 A-vs-B gap).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtsim::{SimDuration, Simulator};
+use rtsim_bench::harness::BenchGroup;
 
 fn timer_wheel(n_processes: usize, waits: u64) {
     let mut sim = Simulator::new();
@@ -38,17 +38,11 @@ fn ping_pong(rounds: u64) {
     std::hint::black_box(sim.stats());
 }
 
-fn kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel");
+fn main() {
+    let mut group = BenchGroup::new("kernel");
     group.sample_size(10);
     for &n in &[2usize, 8, 32] {
-        group.bench_with_input(BenchmarkId::new("timer_wheel", n), &n, |b, &n| {
-            b.iter(|| timer_wheel(n, 200))
-        });
+        group.bench(&format!("timer_wheel/{n}"), || timer_wheel(n, 200));
     }
-    group.bench_function("event_ping_pong_1000", |b| b.iter(|| ping_pong(1_000)));
-    group.finish();
+    group.bench("event_ping_pong_1000", || ping_pong(1_000));
 }
-
-criterion_group!(benches, kernel);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion bench for the MPEG-2 SoC case study: whole-pipeline
-//! simulation cost per frame batch, for both engines.
+//! Bench for the MPEG-2 SoC case study: whole-pipeline simulation cost
+//! per frame batch, for both engines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtsim::scenarios::{mpeg2_system, Mpeg2Config};
 use rtsim::EngineKind;
+use rtsim_bench::harness::BenchGroup;
 
 fn run(engine: EngineKind, frames: u64) {
     let config = Mpeg2Config {
@@ -16,23 +16,15 @@ fn run(engine: EngineKind, frames: u64) {
     std::hint::black_box(system.now());
 }
 
-fn mpeg2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mpeg2_soc");
+fn main() {
+    let mut group = BenchGroup::new("mpeg2_soc");
     group.sample_size(10);
     for &frames in &[5u64, 15] {
-        group.bench_with_input(
-            BenchmarkId::new("procedure_call", frames),
-            &frames,
-            |b, &frames| b.iter(|| run(EngineKind::ProcedureCall, frames)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("dedicated_thread", frames),
-            &frames,
-            |b, &frames| b.iter(|| run(EngineKind::DedicatedThread, frames)),
-        );
+        group.bench(&format!("procedure_call/{frames}"), || {
+            run(EngineKind::ProcedureCall, frames)
+        });
+        group.bench(&format!("dedicated_thread/{frames}"), || {
+            run(EngineKind::DedicatedThread, frames)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, mpeg2);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion bench for the §3.2 overhead model: the simulation cost of
-//! fixed versus formula overhead parameters (a formula is evaluated at
-//! every scheduling action, so its host cost matters for big sweeps).
+//! Bench for the §3.2 overhead model: the simulation cost of fixed
+//! versus formula overhead parameters (a formula is evaluated at every
+//! scheduling action, so its host cost matters for big sweeps).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rtsim::policies::PriorityPreemptive;
 use rtsim::{EngineKind, OverheadSpec, Overheads, SimDuration, SystemModel, TaskConfig};
+use rtsim_bench::harness::BenchGroup;
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -34,22 +34,16 @@ fn run(overheads: Overheads) {
     std::hint::black_box(system.now());
 }
 
-fn overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("overhead_model");
+fn main() {
+    let mut group = BenchGroup::new("overhead_model");
     group.sample_size(10);
-    group.bench_function("zero", |b| b.iter(|| run(Overheads::zero())));
-    group.bench_function("fixed_5us", |b| b.iter(|| run(Overheads::uniform(us(5)))));
-    group.bench_function("formula_per_ready", |b| {
-        b.iter(|| {
-            run(Overheads {
-                context_save: OverheadSpec::fixed(us(2)),
-                scheduling: OverheadSpec::formula(|v| us(1) * v.ready_tasks as u64),
-                context_load: OverheadSpec::fixed(us(2)),
-            })
+    group.bench("zero", || run(Overheads::zero()));
+    group.bench("fixed_5us", || run(Overheads::uniform(us(5))));
+    group.bench("formula_per_ready", || {
+        run(Overheads {
+            context_save: OverheadSpec::fixed(us(2)),
+            scheduling: OverheadSpec::formula(|v| us(1) * v.ready_tasks as u64),
+            context_load: OverheadSpec::fixed(us(2)),
         })
     });
-    group.finish();
 }
-
-criterion_group!(benches, overhead);
-criterion_main!(benches);

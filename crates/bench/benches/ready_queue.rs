@@ -2,10 +2,10 @@
 //! ready queues — the ablation for the DESIGN.md note on ready-queue
 //! handling (snapshot + scan per decision).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsim::core::policy::{PolicyView, TaskView};
 use rtsim::policies::{EarliestDeadlineFirst, Fifo, PriorityPreemptive, RoundRobin};
 use rtsim::{Priority, SchedulingPolicy, SimDuration, SimTime, TaskId};
-use rtsim::core::policy::{PolicyView, TaskView};
+use rtsim_bench::harness::BenchGroup;
 
 fn make_ready(n: usize) -> Vec<TaskView> {
     (0..n)
@@ -20,31 +20,29 @@ fn make_ready(n: usize) -> Vec<TaskView> {
         .collect()
 }
 
-fn ready_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy_select");
+fn main() {
+    let mut group = BenchGroup::new("policy_select");
     for &n in &[4usize, 16, 64, 256] {
         let ready = make_ready(n);
         let policies: Vec<(&str, Box<dyn SchedulingPolicy>)> = vec![
             ("priority", Box::new(PriorityPreemptive::new())),
             ("fifo", Box::new(Fifo::new())),
-            ("round_robin", Box::new(RoundRobin::new(SimDuration::from_us(10)))),
+            (
+                "round_robin",
+                Box::new(RoundRobin::new(SimDuration::from_us(10))),
+            ),
             ("edf", Box::new(EarliestDeadlineFirst::new())),
         ];
         for (name, mut policy) in policies {
-            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| {
-                    let view = PolicyView {
-                        now: SimTime::ZERO,
-                        ready: &ready,
-                        running: None,
-                    };
-                    std::hint::black_box(policy.select(&view))
-                })
+            // A single select is nanoseconds; batch it per sample.
+            group.bench_batched(&format!("{name}/{n}"), 10_000, || {
+                let view = PolicyView {
+                    now: SimTime::ZERO,
+                    ready: &ready,
+                    running: None,
+                };
+                std::hint::black_box(policy.select(&view));
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, ready_queue);
-criterion_main!(benches);

@@ -12,8 +12,7 @@
 //!
 //! Run with: `cargo run --release -p rtsim-bench --bin quantum_error`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rtsim::testutil::Rng;
 use rtsim::{
     spawn_interrupt_at, DurationSummary, Processor, ProcessorConfig, SimDuration, Simulator,
     TaskConfig, TaskState, TraceRecorder, Waiter,
@@ -56,7 +55,7 @@ fn reaction_delay(at: SimDuration, quantum: Option<SimDuration>) -> SimDuration 
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2003);
+    let mut rng = Rng::seed_from_u64(2003);
     let samples = 100;
     let offsets: Vec<SimDuration> = (0..samples)
         .map(|_| us(rng.gen_range(1_000..40_000)))

@@ -10,8 +10,7 @@
 //!
 //! Run with: `cargo run --release -p rtsim-bench --bin rta_vs_sim`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rtsim::testutil::Rng;
 use rtsim::policies::PriorityPreemptive;
 use rtsim::{
     assign_rate_monotonic, response_time_analysis, utilization, PeriodicTask, Processor,
@@ -82,7 +81,7 @@ fn simulate(tasks: &[PeriodicTask]) -> Vec<SimDuration> {
         .collect()
 }
 
-fn random_set(rng: &mut StdRng, n: usize) -> Vec<PeriodicTask> {
+fn random_set(rng: &mut Rng, n: usize) -> Vec<PeriodicTask> {
     let tasks: Vec<PeriodicTask> = (0..n)
         .map(|i| {
             let period = rng.gen_range(50..400);
@@ -94,7 +93,7 @@ fn random_set(rng: &mut StdRng, n: usize) -> Vec<PeriodicTask> {
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(20040216); // DATE 2004 ;-)
+    let mut rng = Rng::seed_from_u64(20040216); // DATE 2004 ;-)
     let trials = 200;
     let mut checked = 0u64;
     let mut exact = 0u64;

@@ -5,8 +5,7 @@
 //!
 //! Run with: `cargo run --release -p rtsim-bench --bin server_ablation`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rtsim::testutil::Rng;
 use rtsim::{
     spawn_polling_server, AperiodicQueue, DurationSummary, PollingServerConfig, Processor,
     ProcessorConfig, SimDuration, SimTime, Simulator, TaskConfig, TaskState, TraceRecorder,
@@ -17,7 +16,7 @@ fn us(v: u64) -> SimDuration {
 }
 
 /// Random aperiodic arrivals: (time, cost) pairs over a 100 ms run.
-fn arrivals(rng: &mut StdRng, count: usize) -> Vec<(SimDuration, SimDuration)> {
+fn arrivals(rng: &mut Rng, count: usize) -> Vec<(SimDuration, SimDuration)> {
     (0..count)
         .map(|_| {
             (
@@ -110,7 +109,7 @@ fn run(arrivals: &[(SimDuration, SimDuration)], period: SimDuration, budget: Sim
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     let load = arrivals(&mut rng, 60);
 
     println!("== aperiodic service: the polling-server budget/period trade-off ==\n");

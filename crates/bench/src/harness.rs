@@ -1,0 +1,102 @@
+//! A tiny in-tree benchmark harness replacing Criterion.
+//!
+//! The workspace is hermetic (offline build, no external crates), so the
+//! six `benches/*.rs` targets use this instead: each is a plain
+//! `harness = false` binary whose `main` builds a [`BenchGroup`], runs
+//! each case with one warm-up execution plus `sample_size` timed samples,
+//! and prints the median wall time per sample.
+//!
+//! Output is one line per case:
+//!
+//! ```text
+//! kernel/timer_wheel/8              median   1.24 ms   (10 samples, min 1.20 ms, max 1.31 ms)
+//! ```
+//!
+//! The median over a small fixed sample count is deliberately simple —
+//! these benches exist to regenerate the paper's *relative* comparisons
+//! (approach A vs B, traced vs untraced), not to chase nanosecond CIs.
+
+use std::time::{Duration, Instant};
+
+use crate::fmt_wall;
+
+/// A named group of benchmark cases, mirroring the Criterion
+/// `benchmark_group` shape the benches were first written against.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    samples: u32,
+}
+
+impl BenchGroup {
+    /// Creates a group; cases print as `name/case-id`.
+    pub fn new(name: &str) -> Self {
+        BenchGroup {
+            name: name.to_owned(),
+            samples: 10,
+        }
+    }
+
+    /// Sets how many timed samples each case takes (default 10).
+    pub fn sample_size(&mut self, samples: u32) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one case: a warm-up call, then `sample_size` timed calls of
+    /// `f`; prints the median sample time.
+    pub fn bench(&mut self, id: &str, mut f: impl FnMut()) {
+        f(); // warm-up: first-touch allocations, thread spawns, caches
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        println!(
+            "{:<44} median {:>10}   ({} samples, min {}, max {})",
+            format!("{}/{}", self.name, id),
+            fmt_wall(median),
+            self.samples,
+            fmt_wall(times[0]),
+            fmt_wall(times[times.len() - 1]),
+        );
+    }
+
+    /// Like [`bench`](Self::bench) but runs `iters` calls of `f` per
+    /// sample and reports the per-call median — for sub-microsecond
+    /// bodies where a single call is below timer resolution.
+    pub fn bench_batched(&mut self, id: &str, iters: u32, mut f: impl FnMut()) {
+        let iters = iters.max(1);
+        self.bench(id, || {
+            for _ in 0..iters {
+                f();
+            }
+        });
+        println!("{:<44}   (batched: {iters} calls per sample)", "");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_warmup_plus_samples() {
+        let mut count = 0u32;
+        let mut g = BenchGroup::new("test");
+        g.sample_size(5).bench("counting", || count += 1);
+        assert_eq!(count, 6); // 1 warm-up + 5 samples
+    }
+
+    #[test]
+    fn batched_multiplies_iterations() {
+        let mut count = 0u32;
+        let mut g = BenchGroup::new("test");
+        g.sample_size(2).bench_batched("counting", 10, || count += 1);
+        assert_eq!(count, 30); // (1 warm-up + 2 samples) * 10
+    }
+}

@@ -16,6 +16,8 @@
 //! | `rta_vs_sim` | extension — Monte-Carlo cross-validation against exact response-time analysis |
 //! | `server_ablation` | extension — polling-server budget/period trade-off |
 
+pub mod harness;
+
 use std::time::{Duration, Instant};
 
 /// Wall-clock measurement of one closure, with a warm-up run.

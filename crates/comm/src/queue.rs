@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtsim_kernel::sync::Mutex;
 use rtsim_core::agent::{Agent, Waiter};
 use rtsim_trace::{ActorKind, CommKind, TraceRecorder};
 

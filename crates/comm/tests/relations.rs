@@ -149,7 +149,7 @@ fn queue_delivers_fifo_and_blocks_reader() {
         let rec = TraceRecorder::new();
         let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
         let q: MessageQueue<u32> = MessageQueue::new(&rec, "q", 8);
-        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order = Arc::new(rtsim_kernel::sync::Mutex::new(Vec::new()));
 
         let tx = q.clone();
         cpu.spawn_task(&mut sim, TaskConfig::new("producer").priority(1), move |t| {
@@ -228,7 +228,7 @@ fn queue_connects_hardware_to_software() {
         let rec = TraceRecorder::new();
         let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").engine(engine));
         let q: MessageQueue<u64> = MessageQueue::new(&rec, "dma", 4);
-        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen = Arc::new(rtsim_kernel::sync::Mutex::new(Vec::new()));
 
         let tx = q.clone();
         spawn_hw_function(&mut sim, &rec, "dma_engine", move |hw| {
@@ -301,7 +301,7 @@ fn rendezvous_serves_writers_fifo() {
             },
         );
     }
-    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order = Arc::new(rtsim_kernel::sync::Mutex::new(Vec::new()));
     let sink = Arc::clone(&order);
     cpu.spawn_task(&mut sim, TaskConfig::new("reader").priority(1), move |t| {
         for _ in 0..3 {

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtsim_kernel::sync::Mutex;
 use rtsim_kernel::{Event, ProcessContext, SimDuration, SimTime, Wake};
 use rtsim_trace::{ActorId, OverheadKind, TaskState, TraceRecorder};
 

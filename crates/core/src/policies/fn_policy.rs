@@ -117,7 +117,7 @@ mod tests {
         let mut sim = Simulator::new();
         let rec = TraceRecorder::new();
         let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").policy(policy));
-        let order = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order = std::sync::Arc::new(rtsim_kernel::sync::Mutex::new(Vec::new()));
         for (i, prio) in [(0u32, 1u32), (1, 9), (2, 5)] {
             let order = std::sync::Arc::clone(&order);
             cpu.spawn_task(

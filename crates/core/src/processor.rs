@@ -9,7 +9,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtsim_kernel::sync::Mutex;
 use rtsim_kernel::{ProcessContext, SimDuration, SimTime, Simulator};
 use rtsim_trace::{ActorId, ActorKind, TaskState, TraceRecorder};
 

@@ -63,7 +63,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtsim_kernel::sync::Mutex;
 use rtsim_kernel::{SimDuration, SimTime, Simulator};
 
 use crate::agent::Waiter;

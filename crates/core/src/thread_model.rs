@@ -18,7 +18,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtsim_kernel::sync::Mutex;
 use rtsim_kernel::{Event, ProcessContext, SimDuration, Simulator};
 use rtsim_trace::{OverheadKind, TaskState};
 

@@ -180,7 +180,7 @@ fn deadline_misses_are_counted_and_annotated() {
 #[test]
 fn policy_sees_ready_queue_in_enqueue_order_with_running_context() {
     use rtsim_core::policies::from_fn;
-    let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let seen = std::sync::Arc::new(rtsim_kernel::sync::Mutex::new(Vec::new()));
     let log = std::sync::Arc::clone(&seen);
     let policy = from_fn(
         "observer",

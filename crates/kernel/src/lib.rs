@@ -65,6 +65,8 @@ pub mod event;
 pub mod process;
 mod scheduler;
 pub mod simulator;
+pub mod sync;
+pub mod testutil;
 pub mod time;
 
 pub use error::KernelError;

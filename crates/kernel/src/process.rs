@@ -23,9 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{Receiver, Sender};
-
 use crate::event::{Event, Wake};
+use crate::sync::{Receiver, Sender};
 use crate::time::{SimDuration, SimTime};
 
 /// A lightweight, copyable handle to a simulation process.

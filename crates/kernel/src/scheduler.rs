@@ -20,14 +20,13 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
 use crate::error::KernelError;
 use crate::event::{Event, Wake};
 use crate::process::{
     spawn_process, NotifyOp, ProcHandle, ProcState, ProcessContext, ProcessId, ResumeMsg,
     YieldMsg, YieldReason,
 };
+use crate::sync::{unbounded, Receiver, Sender};
 use crate::time::SimTime;
 
 /// Default bound on consecutive delta cycles at one instant before the

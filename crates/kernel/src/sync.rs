@@ -1,0 +1,186 @@
+//! Hermetic std-only synchronization primitives.
+//!
+//! The workspace builds with an empty cargo registry, so the external
+//! `parking_lot` and `crossbeam` crates are replaced by thin wrappers over
+//! `std::sync`:
+//!
+//! - [`Mutex`] — a newtype over [`std::sync::Mutex`] whose [`lock`]
+//!   recovers from poisoning. In this kernel a panicking simulated process
+//!   is an *expected* event (the scheduler converts it into
+//!   `KernelError::ProcessPanicked`), so a poisoned lock must not cascade
+//!   the failure into unrelated processes or tests.
+//! - [`unbounded`] — the `SyncChannel` handoff pair used for the
+//!   one-runner coroutine protocol between the kernel and its process
+//!   threads (the paper's Approach-A thread model), backed by
+//!   [`std::sync::mpsc`].
+//!
+//! [`lock`]: Mutex::lock
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// A mutual-exclusion lock that shrugs off poisoning.
+///
+/// Semantically identical to [`std::sync::Mutex`] except that `lock`
+/// returns the guard directly: if a previous holder panicked, the data is
+/// still handed out. That is sound here because every protected structure
+/// in the simulator is updated transactionally under the one-runner
+/// protocol — a panic cannot leave it half-written in a way another
+/// process could observe mid-update.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex holding `value`.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value (poison-recovering).
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    ///
+    /// Unlike `std`, a poisoned lock (previous holder panicked) is
+    /// recovered rather than propagated: the guard is returned anyway.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.try_lock() {
+            Ok(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// Sending half of a [`unbounded`] channel. Clonable.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+/// Receiving half of a [`unbounded`] channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries
+/// the unsent value.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Creates an unbounded FIFO channel (the `SyncChannel` handoff pair).
+///
+/// API-compatible with the subset of `crossbeam::channel::unbounded` the
+/// kernel uses: cloneable sender, blocking `recv`, disconnection reported
+/// as an `Err` rather than a panic.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, failing only if the receiver was dropped.
+    #[inline]
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives, failing only if all senders dropped.
+    #[inline]
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive; `None` when the channel is currently empty
+    /// or disconnected.
+    #[inline]
+    pub fn try_recv(&self) -> Option<T> {
+        self.0.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_recovers_from_poisoning() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // A std mutex would now return Err(PoisonError); ours hands the
+        // data back so later users are unaffected.
+        assert_eq!(*m.lock(), 7);
+        *m.lock() = 8;
+        assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_value() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(42), Err(SendError(42)));
+    }
+}

@@ -1,0 +1,20 @@
+//! In-tree testing utilities: a deterministic PRNG and a mini
+//! property-test harness.
+//!
+//! The workspace is hermetic (no external crates, offline build), so the
+//! roles of `rand` and `proptest` are filled here:
+//!
+//! - [`Rng`] — SplitMix64-seeded xoshiro256++, for randomized workloads
+//!   in tests, benches, and examples;
+//! - [`check`] — fixed-count seeded property runner with failing-seed
+//!   reporting (`RTSIM_PROP_SEED=<seed>` replays one case).
+//!
+//! These live in the kernel crate (rather than a dev-only crate) because
+//! every layer of the stack, plus the bench binaries and examples, uses
+//! them; they have zero dependencies and no unsafe code.
+
+mod prop;
+mod rng;
+
+pub use prop::check;
+pub use rng::{IntoSpan, Rng, SampleUniform};

@@ -1,0 +1,163 @@
+//! A minimal property-test harness: seeded case generation, fixed
+//! iteration count, failing-seed reporting.
+//!
+//! Replaces the external `proptest` crate for this workspace's randomized
+//! suites. The trade-offs are deliberate: no shrinking (the failing input
+//! is printed whole, and generators here are small), a fixed case count,
+//! and reproduction via an explicit seed instead of a persistence file.
+//!
+//! A failing case prints the generated input and the exact
+//! `RTSIM_PROP_SEED` value that regenerates it:
+//!
+//! ```text
+//! property failed at case 17/64
+//!   input: [[3, 999], []]
+//!   reproduce with: RTSIM_PROP_SEED=0x1db71664ed9ffce3 cargo test -q <name>
+//! ```
+
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+
+use super::rng::{splitmix64, Rng};
+
+/// Default base seed. Arbitrary but fixed: CI runs are reproducible.
+const DEFAULT_BASE_SEED: u64 = 0x5EED_0F_DA7E_2004;
+
+/// Derives the per-case seed for case `index` under `base`.
+fn case_seed(base: u64, index: u64) -> u64 {
+    let mut s = base ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix64(&mut s)
+}
+
+/// Parses `RTSIM_PROP_SEED` (decimal or `0x`-prefixed hex), if set.
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("RTSIM_PROP_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = raw
+        .strip_prefix("0x")
+        .or_else(|| raw.strip_prefix("0X"))
+        .map_or_else(|| raw.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok());
+    Some(parsed.unwrap_or_else(|| panic!("RTSIM_PROP_SEED is not a u64: {raw:?}")))
+}
+
+/// Runs `property` against `cases` inputs drawn from `generate`.
+///
+/// Each case gets its own seeded [`Rng`]; the property signals failure by
+/// panicking (plain `assert!`/`assert_eq!` work). On failure the harness
+/// reports the input and the case seed, then re-raises the panic so the
+/// test fails normally. Setting `RTSIM_PROP_SEED` replays exactly one
+/// case with that seed — the reproduction workflow for a red run.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_kernel::testutil::check;
+///
+/// check(32, |rng| rng.gen_vec(0..8, |r| r.gen_range(0u64..100)), |v| {
+///     let mut sorted = v.clone();
+///     sorted.sort();
+///     assert_eq!(sorted.len(), v.len()); // sorting preserves length
+/// });
+/// ```
+pub fn check<T, G, P>(cases: u32, mut generate: G, property: P)
+where
+    T: Debug,
+    G: FnMut(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    if let Some(seed) = env_seed() {
+        // Replay mode: run the single requested case, unguarded so the
+        // panic message comes through untouched.
+        let input = generate(&mut Rng::seed_from_u64(seed));
+        eprintln!("replaying RTSIM_PROP_SEED=0x{seed:x}\n  input: {input:?}");
+        property(&input);
+        return;
+    }
+    let base = DEFAULT_BASE_SEED;
+    for index in 0..u64::from(cases) {
+        let seed = case_seed(base, index);
+        let input = generate(&mut Rng::seed_from_u64(seed));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| property(&input)));
+        if let Err(payload) = outcome {
+            eprintln!("{}", failure_report(index, cases, &input, seed));
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Renders the failure banner for case `index`; the seed it names
+/// regenerates the failing input exactly (see `RTSIM_PROP_SEED`).
+fn failure_report<T: Debug>(index: u64, cases: u32, input: &T, seed: u64) -> String {
+    format!(
+        "property failed at case {}/{cases}\n  input: {input:?}\n  \
+         reproduce with: RTSIM_PROP_SEED=0x{seed:x} cargo test -q",
+        index + 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn runs_exactly_the_requested_cases() {
+        let ran = AtomicU32::new(0);
+        check(
+            17,
+            |rng| rng.gen_range(0u64..100),
+            |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn case_sequence_is_deterministic() {
+        let collect = || {
+            let seen = Mutex::new(Vec::new());
+            check(
+                8,
+                |rng| rng.gen_vec(0..5, |r| r.gen_range(0u64..1000)),
+                |v| seen.lock().unwrap().push(v.clone()),
+            );
+            seen.into_inner().unwrap()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn failing_case_panics_through() {
+        let result = panic::catch_unwind(|| {
+            check(
+                16,
+                |rng| rng.gen_range(0u64..1000),
+                |&v| assert!(v < 10, "boom on {v}"),
+            );
+        });
+        assert!(result.is_err(), "a failing property must fail the test");
+    }
+
+    #[test]
+    fn failure_report_names_the_reproduction_seed() {
+        let report = failure_report(16, 64, &vec![1u64, 2, 3], 0xDEAD_BEEF);
+        assert!(report.contains("case 17/64"));
+        assert!(report.contains("[1, 2, 3]"));
+        assert!(report.contains("RTSIM_PROP_SEED=0xdeadbeef"));
+        // The advertised seed must regenerate the identical case input.
+        let a = Rng::seed_from_u64(0xDEAD_BEEF).gen_vec(0..9, |r| r.gen_range(0u64..100));
+        let b = Rng::seed_from_u64(0xDEAD_BEEF).gen_vec(0..9, |r| r.gen_range(0u64..100));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case_seeds_differ_across_indices() {
+        let seeds: Vec<u64> = (0..64).map(|i| case_seed(DEFAULT_BASE_SEED, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Integration tests for the hermetic replacements themselves: the
+//! in-tree PRNG and property harness are deterministic, and a panicking
+//! simulated process cannot wedge later users of the shared mutex — the
+//! failure modes that would silently corrupt every randomized suite
+//! built on top of them.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use rtsim_kernel::sync::Mutex;
+use rtsim_kernel::testutil::{check, Rng};
+use rtsim_kernel::{KernelError, SimDuration, Simulator};
+
+#[test]
+fn same_seed_gives_identical_stream() {
+    let draw = |seed: u64| -> Vec<u64> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..64).map(|_| rng.next_u64()).collect()
+    };
+    assert_eq!(draw(2004), draw(2004));
+    assert_ne!(draw(2004), draw(2005));
+}
+
+#[test]
+fn harness_generates_identical_case_sequences() {
+    // Two full runs of the same property see the same inputs in the same
+    // order — the foundation of "a red CI run reproduces locally".
+    let collect = || {
+        let seen = StdMutex::new(Vec::new());
+        check(
+            16,
+            |rng| {
+                (
+                    rng.gen_vec(0..6, |r| r.gen_range(0u64..10_000)),
+                    rng.gen_range(-5i64..=5),
+                )
+            },
+            |case| seen.lock().unwrap().push(case.clone()),
+        );
+        seen.into_inner().unwrap()
+    };
+    let first = collect();
+    assert_eq!(first, collect());
+    // And the cases themselves vary (the generator is not stuck).
+    assert!(first.windows(2).any(|w| w[0] != w[1]));
+}
+
+#[test]
+fn panicked_process_does_not_wedge_mutex_users() {
+    let shared = Arc::new(Mutex::new(Vec::new()));
+
+    // First simulator: a process panics while mid-protocol with `shared`.
+    let mut sim = Simulator::new();
+    let poisoner = Arc::clone(&shared);
+    sim.spawn("victim", move |ctx| {
+        poisoner.lock().push(1u32);
+        ctx.wait_for(SimDuration::from_ns(1));
+        let _guard = poisoner.lock();
+        panic!("simulated fault while holding the lock");
+    });
+    let err = sim.run().expect_err("the panic must surface as an error");
+    assert!(matches!(err, KernelError::ProcessPanicked { .. }));
+    drop(sim);
+
+    // The lock was held across a panic. A std mutex would now be poisoned
+    // and every later `lock().unwrap()` would cascade the failure; the
+    // kernel mutex recovers and unrelated work proceeds.
+    shared.lock().push(2);
+    let mut sim2 = Simulator::new();
+    let user = Arc::clone(&shared);
+    sim2.spawn("survivor", move |ctx| {
+        ctx.wait_for(SimDuration::from_ns(1));
+        user.lock().push(3);
+    });
+    sim2.run().unwrap();
+    assert_eq!(*shared.lock(), vec![1, 2, 3]);
+}

@@ -1,147 +1,160 @@
 //! Property-based tests for the kernel: random sleep schedules and random
 //! notification programs are checked against simple reference models.
+//! Runs on the in-tree `testutil` harness (seeded cases, no external
+//! crates); a failure prints its `RTSIM_PROP_SEED` reproduction seed.
 
 use std::sync::{Arc, Mutex};
 
-use proptest::prelude::*;
+use rtsim_kernel::testutil::check;
 use rtsim_kernel::{SimDuration, SimTime, Simulator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Total simulated time equals the maximum per-process sum of sleeps,
-    /// for any set of processes with arbitrary sleep schedules.
-    #[test]
-    fn completion_time_is_max_of_sleep_sums(
-        schedules in prop::collection::vec(
-            prop::collection::vec(0u64..1_000, 0..12),
-            1..8,
-        )
-    ) {
-        let mut sim = Simulator::new();
-        for (i, sched) in schedules.iter().cloned().enumerate() {
-            sim.spawn(&format!("p{i}"), move |ctx| {
-                for d in sched {
-                    ctx.wait_for(SimDuration::from_ps(d));
-                }
-            });
-        }
-        sim.run().unwrap();
-        let expected = schedules
-            .iter()
-            .map(|s| s.iter().sum::<u64>())
-            .max()
-            .unwrap_or(0);
-        prop_assert_eq!(sim.now(), SimTime::from_ps(expected));
-        prop_assert_eq!(sim.alive_processes(), 0);
-    }
-
-    /// Every process observes a monotonically non-decreasing clock.
-    #[test]
-    fn time_is_monotonic_per_process(
-        schedules in prop::collection::vec(
-            prop::collection::vec(0u64..500, 1..10),
-            1..6,
-        )
-    ) {
-        let observed: Arc<Mutex<Vec<Vec<u64>>>> =
-            Arc::new(Mutex::new(vec![Vec::new(); schedules.len()]));
-        let mut sim = Simulator::new();
-        for (i, sched) in schedules.iter().cloned().enumerate() {
-            let observed = Arc::clone(&observed);
-            sim.spawn(&format!("p{i}"), move |ctx| {
-                for d in sched {
-                    ctx.wait_for(SimDuration::from_ps(d));
-                    observed.lock().unwrap()[i].push(ctx.now().as_ps());
-                }
-            });
-        }
-        sim.run().unwrap();
-        for series in observed.lock().unwrap().iter() {
-            for pair in series.windows(2) {
-                prop_assert!(pair[0] <= pair[1]);
-            }
-        }
-    }
-
-    /// With a sequence of timed notifications posted at t=0 on one event,
-    /// a waiter wakes at the minimum of the posted delays (the SystemC
-    /// earliest-wins override rule), regardless of posting order.
-    #[test]
-    fn earliest_notification_wins(delays in prop::collection::vec(1u64..10_000, 1..10)) {
-        let woken_at = Arc::new(Mutex::new(0u64));
-        let mut sim = Simulator::new();
-        let e = sim.event("e");
-        let woken = Arc::clone(&woken_at);
-        sim.spawn("waiter", move |ctx| {
-            ctx.wait_event(e);
-            *woken.lock().unwrap() = ctx.now().as_ps();
-        });
-        let posts = delays.clone();
-        sim.spawn("notifier", move |ctx| {
-            for d in posts {
-                ctx.notify_after(e, SimDuration::from_ps(d));
-            }
-        });
-        sim.run().unwrap();
-        let min = *delays.iter().min().unwrap();
-        prop_assert_eq!(*woken_at.lock().unwrap(), min);
-    }
-
-    /// wait_event_for returns Timeout iff the notification is strictly
-    /// later than the timeout; ties go to the event (timers posted first
-    /// at equal times fire in posting order, and the notification is
-    /// posted before the wait's timeout).
-    #[test]
-    fn timeout_versus_event_race(delay in 1u64..1_000, timeout in 1u64..1_000) {
-        let result = Arc::new(Mutex::new(None));
-        let mut sim = Simulator::new();
-        let e = sim.event("e");
-        sim.notify_at(e, SimTime::from_ps(delay));
-        let r = Arc::clone(&result);
-        sim.spawn("waiter", move |ctx| {
-            let w = ctx.wait_event_for(e, SimDuration::from_ps(timeout));
-            *r.lock().unwrap() = Some((w.is_timeout(), ctx.now().as_ps()));
-        });
-        sim.run().unwrap();
-        let (timed_out, at) = result.lock().unwrap().unwrap();
-        if delay <= timeout {
-            prop_assert!(!timed_out);
-            prop_assert_eq!(at, delay);
-        } else {
-            prop_assert!(timed_out);
-            prop_assert_eq!(at, timeout);
-        }
-    }
-
-    /// Two identical random models produce identical kernel statistics
-    /// (full determinism).
-    #[test]
-    fn runs_are_reproducible(
-        schedules in prop::collection::vec(
-            prop::collection::vec(0u64..200, 1..8),
-            2..6,
-        )
-    ) {
-        fn run(schedules: &[Vec<u64>]) -> (u64, u64, u64) {
+/// Total simulated time equals the maximum per-process sum of sleeps,
+/// for any set of processes with arbitrary sleep schedules.
+#[test]
+fn completion_time_is_max_of_sleep_sums() {
+    check(
+        64,
+        |rng| rng.gen_vec(1..8, |r| r.gen_vec(0..12, |r| r.gen_range(0u64..1_000))),
+        |schedules| {
             let mut sim = Simulator::new();
-            let e = sim.event("shared");
             for (i, sched) in schedules.iter().cloned().enumerate() {
                 sim.spawn(&format!("p{i}"), move |ctx| {
-                    for (k, d) in sched.into_iter().enumerate() {
-                        if k % 2 == 0 {
-                            ctx.wait_for(SimDuration::from_ps(d));
-                            ctx.notify(e);
-                        } else {
-                            let _ = ctx.wait_event_for(e, SimDuration::from_ps(d));
-                        }
+                    for d in sched {
+                        ctx.wait_for(SimDuration::from_ps(d));
                     }
                 });
             }
             sim.run().unwrap();
-            let s = sim.stats();
-            (s.process_switches, s.delta_cycles, sim.now().as_ps())
-        }
-        prop_assert_eq!(run(&schedules), run(&schedules));
-    }
+            let expected = schedules
+                .iter()
+                .map(|s| s.iter().sum::<u64>())
+                .max()
+                .unwrap_or(0);
+            assert_eq!(sim.now(), SimTime::from_ps(expected));
+            assert_eq!(sim.alive_processes(), 0);
+        },
+    );
+}
+
+/// Every process observes a monotonically non-decreasing clock.
+#[test]
+fn time_is_monotonic_per_process() {
+    check(
+        64,
+        |rng| rng.gen_vec(1..6, |r| r.gen_vec(1..10, |r| r.gen_range(0u64..500))),
+        |schedules| {
+            let observed: Arc<Mutex<Vec<Vec<u64>>>> =
+                Arc::new(Mutex::new(vec![Vec::new(); schedules.len()]));
+            let mut sim = Simulator::new();
+            for (i, sched) in schedules.iter().cloned().enumerate() {
+                let observed = Arc::clone(&observed);
+                sim.spawn(&format!("p{i}"), move |ctx| {
+                    for d in sched {
+                        ctx.wait_for(SimDuration::from_ps(d));
+                        observed.lock().unwrap()[i].push(ctx.now().as_ps());
+                    }
+                });
+            }
+            sim.run().unwrap();
+            for series in observed.lock().unwrap().iter() {
+                for pair in series.windows(2) {
+                    assert!(pair[0] <= pair[1]);
+                }
+            }
+        },
+    );
+}
+
+/// With a sequence of timed notifications posted at t=0 on one event,
+/// a waiter wakes at the minimum of the posted delays (the SystemC
+/// earliest-wins override rule), regardless of posting order.
+#[test]
+fn earliest_notification_wins() {
+    check(
+        64,
+        |rng| rng.gen_vec(1..10, |r| r.gen_range(1u64..10_000)),
+        |delays| {
+            let woken_at = Arc::new(Mutex::new(0u64));
+            let mut sim = Simulator::new();
+            let e = sim.event("e");
+            let woken = Arc::clone(&woken_at);
+            sim.spawn("waiter", move |ctx| {
+                ctx.wait_event(e);
+                *woken.lock().unwrap() = ctx.now().as_ps();
+            });
+            let posts = delays.clone();
+            sim.spawn("notifier", move |ctx| {
+                for d in posts {
+                    ctx.notify_after(e, SimDuration::from_ps(d));
+                }
+            });
+            sim.run().unwrap();
+            let min = *delays.iter().min().unwrap();
+            assert_eq!(*woken_at.lock().unwrap(), min);
+        },
+    );
+}
+
+/// wait_event_for returns Timeout iff the notification is strictly
+/// later than the timeout; ties go to the event (timers posted first
+/// at equal times fire in posting order, and the notification is
+/// posted before the wait's timeout).
+#[test]
+fn timeout_versus_event_race() {
+    check(
+        64,
+        |rng| (rng.gen_range(1u64..1_000), rng.gen_range(1u64..1_000)),
+        |&(delay, timeout)| {
+            let result = Arc::new(Mutex::new(None));
+            let mut sim = Simulator::new();
+            let e = sim.event("e");
+            sim.notify_at(e, SimTime::from_ps(delay));
+            let r = Arc::clone(&result);
+            sim.spawn("waiter", move |ctx| {
+                let w = ctx.wait_event_for(e, SimDuration::from_ps(timeout));
+                *r.lock().unwrap() = Some((w.is_timeout(), ctx.now().as_ps()));
+            });
+            sim.run().unwrap();
+            let (timed_out, at) = result.lock().unwrap().unwrap();
+            if delay <= timeout {
+                assert!(!timed_out);
+                assert_eq!(at, delay);
+            } else {
+                assert!(timed_out);
+                assert_eq!(at, timeout);
+            }
+        },
+    );
+}
+
+/// Two identical random models produce identical kernel statistics
+/// (full determinism).
+#[test]
+fn runs_are_reproducible() {
+    check(
+        64,
+        |rng| rng.gen_vec(2..6, |r| r.gen_vec(1..8, |r| r.gen_range(0u64..200))),
+        |schedules| {
+            fn run(schedules: &[Vec<u64>]) -> (u64, u64, u64) {
+                let mut sim = Simulator::new();
+                let e = sim.event("shared");
+                for (i, sched) in schedules.iter().cloned().enumerate() {
+                    sim.spawn(&format!("p{i}"), move |ctx| {
+                        for (k, d) in sched.into_iter().enumerate() {
+                            if k % 2 == 0 {
+                                ctx.wait_for(SimDuration::from_ps(d));
+                                ctx.notify(e);
+                            } else {
+                                let _ = ctx.wait_event_for(e, SimDuration::from_ps(d));
+                            }
+                        }
+                    });
+                }
+                sim.run().unwrap();
+                let s = sim.stats();
+                (s.process_switches, s.delta_cycles, sim.now().as_ps())
+            }
+            assert_eq!(run(schedules), run(schedules));
+        },
+    );
 }

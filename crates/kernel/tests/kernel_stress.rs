@@ -30,7 +30,7 @@ fn hundred_processes_thousand_sleeps() {
 fn fifty_waiters_wake_in_registration_order() {
     let mut sim = Simulator::new();
     let gate = sim.event("gate");
-    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order = Arc::new(rtsim_kernel::sync::Mutex::new(Vec::new()));
     for i in 0..50u32 {
         let order = Arc::clone(&order);
         sim.spawn(&format!("w{i}"), move |ctx| {

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtsim_kernel::sync::Mutex;
 use rtsim_kernel::{SimDuration, SimTime};
 
 use crate::record::{ActorId, ActorInfo, ActorKind, CommKind, OverheadKind, Record, TaskState, TraceData};

@@ -1,102 +1,124 @@
 //! Property tests for the trace layer: statistics invariants and
-//! renderer robustness over arbitrary recorded histories.
+//! renderer robustness over arbitrary recorded histories. Runs on the
+//! in-tree `testutil` harness (seeded cases, no external crates).
 
-use proptest::prelude::*;
+use rtsim_kernel::testutil::{check, Rng};
 use rtsim_kernel::{SimDuration, SimTime};
 use rtsim_trace::timeline::{render, TimelineOptions};
 use rtsim_trace::{ActorKind, DurationSummary, Statistics, TaskState, TraceRecorder};
 
-fn state_strategy() -> impl Strategy<Value = TaskState> {
-    prop_oneof![
-        Just(TaskState::Created),
-        Just(TaskState::Ready),
-        Just(TaskState::Running),
-        Just(TaskState::Waiting),
-        Just(TaskState::WaitingResource),
-        Just(TaskState::Terminated),
-    ]
+fn gen_state(rng: &mut Rng) -> TaskState {
+    *rng.choose(&[
+        TaskState::Created,
+        TaskState::Ready,
+        TaskState::Running,
+        TaskState::Waiting,
+        TaskState::WaitingResource,
+        TaskState::Terminated,
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// For any recorded state history, every ratio lies in [0, 1] and the
+/// per-task ratios sum to at most 1 (+ float slack).
+#[test]
+fn statistics_ratios_are_bounded() {
+    check(
+        64,
+        |rng| {
+            (
+                rng.gen_vec(1..4, |r| {
+                    r.gen_vec(1..20, |r| (r.gen_range(0u64..10_000), gen_state(r)))
+                }),
+                rng.gen_range(1_000u64..20_000),
+            )
+        },
+        |(histories, horizon)| {
+            let rec = TraceRecorder::new();
+            for (i, history) in histories.iter().enumerate() {
+                let actor = rec.register(&format!("t{i}"), ActorKind::Task);
+                let mut sorted = history.clone();
+                sorted.sort_by_key(|&(at, _)| at);
+                for (at, state) in sorted {
+                    rec.state(actor, SimTime::from_ps(at), state);
+                }
+            }
+            let stats = Statistics::from_trace(&rec.snapshot(), SimTime::from_ps(*horizon));
+            for (_, t) in stats.tasks() {
+                for ratio in [
+                    t.activity_ratio,
+                    t.preempted_ratio,
+                    t.waiting_ratio,
+                    t.resource_ratio,
+                ] {
+                    assert!((0.0..=1.0 + 1e-9).contains(&ratio), "{ratio}");
+                }
+                let sum =
+                    t.activity_ratio + t.preempted_ratio + t.waiting_ratio + t.resource_ratio;
+                assert!(sum <= 1.0 + 1e-9, "{sum}");
+            }
+        },
+    );
+}
 
-    /// For any recorded state history, every ratio lies in [0, 1] and the
-    /// per-task ratios sum to at most 1 (+ float slack).
-    #[test]
-    fn statistics_ratios_are_bounded(
-        histories in prop::collection::vec(
-            prop::collection::vec((0u64..10_000, state_strategy()), 1..20),
-            1..4,
-        ),
-        horizon in 1_000u64..20_000,
-    ) {
-        let rec = TraceRecorder::new();
-        for (i, history) in histories.iter().enumerate() {
-            let actor = rec.register(&format!("t{i}"), ActorKind::Task);
+/// The TimeLine renderer never panics and always yields one lane per
+/// task, whatever the history and window.
+#[test]
+fn renderer_is_total() {
+    check(
+        64,
+        |rng| {
+            (
+                rng.gen_vec(1..30, |r| (r.gen_range(0u64..5_000), gen_state(r))),
+                rng.gen_range(1usize..200),
+                rng.gen_range(1u64..6_000),
+            )
+        },
+        |(history, width, until)| {
+            let width = *width;
+            let rec = TraceRecorder::new();
+            let actor = rec.register("T", ActorKind::Task);
             let mut sorted = history.clone();
             sorted.sort_by_key(|&(at, _)| at);
             for (at, state) in sorted {
                 rec.state(actor, SimTime::from_ps(at), state);
             }
-        }
-        let stats = Statistics::from_trace(&rec.snapshot(), SimTime::from_ps(horizon));
-        for (_, t) in stats.tasks() {
-            for ratio in [
-                t.activity_ratio,
-                t.preempted_ratio,
-                t.waiting_ratio,
-                t.resource_ratio,
-            ] {
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&ratio), "{ratio}");
-            }
-            let sum = t.activity_ratio + t.preempted_ratio + t.waiting_ratio + t.resource_ratio;
-            prop_assert!(sum <= 1.0 + 1e-9, "{sum}");
-        }
-    }
+            let chart = render(
+                &rec.snapshot(),
+                &TimelineOptions {
+                    width,
+                    until: Some(SimTime::from_ps(*until)),
+                    legend: false,
+                    ..TimelineOptions::default()
+                },
+            );
+            let lane = chart
+                .lines()
+                .find(|l| l.trim_start().starts_with('T'))
+                .unwrap();
+            // Lane body is exactly `width` columns.
+            let open = lane.find('|').unwrap();
+            let close = lane.rfind('|').unwrap();
+            assert_eq!(close - open - 1, width);
+        },
+    );
+}
 
-    /// The TimeLine renderer never panics and always yields one lane per
-    /// task, whatever the history and window.
-    #[test]
-    fn renderer_is_total(
-        history in prop::collection::vec((0u64..5_000, state_strategy()), 1..30),
-        width in 1usize..200,
-        until in 1u64..6_000,
-    ) {
-        let rec = TraceRecorder::new();
-        let actor = rec.register("T", ActorKind::Task);
-        let mut sorted = history;
-        sorted.sort_by_key(|&(at, _)| at);
-        for (at, state) in sorted {
-            rec.state(actor, SimTime::from_ps(at), state);
-        }
-        let chart = render(
-            &rec.snapshot(),
-            &TimelineOptions {
-                width,
-                until: Some(SimTime::from_ps(until)),
-                legend: false,
-                ..TimelineOptions::default()
-            },
-        );
-        let lane = chart.lines().find(|l| l.trim_start().starts_with('T')).unwrap();
-        // Lane body is exactly `width` columns.
-        let open = lane.find('|').unwrap();
-        let close = lane.rfind('|').unwrap();
-        prop_assert_eq!(close - open - 1, width);
-    }
-
-    /// DurationSummary invariants: min ≤ median ≤ p95 ≤ max and
-    /// min ≤ mean ≤ max.
-    #[test]
-    fn duration_summary_is_ordered(values in prop::collection::vec(0u64..1_000_000, 1..50)) {
-        let summary = DurationSummary::from_durations(
-            values.iter().map(|&v| SimDuration::from_ps(v)),
-        )
-        .unwrap();
-        prop_assert!(summary.min <= summary.median);
-        prop_assert!(summary.median <= summary.p95);
-        prop_assert!(summary.p95 <= summary.max);
-        prop_assert!(summary.min <= summary.mean && summary.mean <= summary.max);
-        prop_assert_eq!(summary.count, values.len());
-    }
+/// DurationSummary invariants: min ≤ median ≤ p95 ≤ max and
+/// min ≤ mean ≤ max.
+#[test]
+fn duration_summary_is_ordered() {
+    check(
+        64,
+        |rng| rng.gen_vec(1..50, |r| r.gen_range(0u64..1_000_000)),
+        |values| {
+            let summary =
+                DurationSummary::from_durations(values.iter().map(|&v| SimDuration::from_ps(v)))
+                    .unwrap();
+            assert!(summary.min <= summary.median);
+            assert!(summary.median <= summary.p95);
+            assert!(summary.p95 <= summary.max);
+            assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+            assert_eq!(summary.count, values.len());
+        },
+    );
 }

@@ -9,14 +9,13 @@
 //!
 //! Run with: `cargo run --release --example automotive_ecu`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rtsim::testutil::Rng;
 use rtsim::scenarios::{automotive_system, injection_latencies, AutomotiveConfig};
 use rtsim::{DurationSummary, EngineKind, Overheads, SimDuration, TimelineOptions};
 
 /// Crank pulse gaps for an engine at `rpm` with ±3 % cycle-to-cycle
 /// jitter (4 pulses per revolution).
-fn crank_gaps(rng: &mut StdRng, rpm: u64, pulses: usize) -> Vec<SimDuration> {
+fn crank_gaps(rng: &mut Rng, rpm: u64, pulses: usize) -> Vec<SimDuration> {
     let nominal_us = 60_000_000 / (rpm * 4);
     (0..pulses)
         .map(|_| {
@@ -27,7 +26,7 @@ fn crank_gaps(rng: &mut StdRng, rpm: u64, pulses: usize) -> Vec<SimDuration> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
 
     println!("== crank-to-injection latency vs engine speed ==\n");
     println!(

@@ -59,6 +59,7 @@ pub use rtsim_core::{
     TaskHandle, TaskId, TaskState, Waiter,
 };
 pub use rtsim_core::policies;
+pub use rtsim_kernel::testutil;
 pub use rtsim_kernel::{
     Event, KernelError, KernelStats, ProcessContext, SimDuration, SimTime, Simulator, Wake,
 };

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the workspace must build and test fully OFFLINE, with an
+# empty cargo registry, and no manifest may name an external (crates.io)
+# dependency. Run from anywhere; operates on the repo containing this
+# script.
+#
+# Usage: tools/check_hermetic.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+# Crate names that must never reappear in a manifest. Extend this list
+# when rejecting a new dependency (see DESIGN.md "Hermetic build policy").
+forbidden='rand|proptest|criterion|crossbeam|parking_lot|serde|tokio|rayon|libc'
+
+echo "== hermetic check: manifests =="
+manifests=$(find "$repo" -name Cargo.toml -not -path '*/target/*')
+if grep -En "^[[:space:]]*($forbidden)[[:space:]]*=" $manifests; then
+    echo "FAIL: external dependency named in a manifest (see above)" >&2
+    exit 1
+fi
+# Belt and braces: inside any *dependencies* section, every entry must be
+# an intra-workspace reference (path = / workspace = true) — a bare
+# version requirement means a crates.io lookup.
+bad=$(awk '
+    /^\[/ { in_deps = ($0 ~ /dependencies/) }
+    in_deps && /=/ && !/path[[:space:]]*=/ && !/workspace[[:space:]]*=[[:space:]]*true/ {
+        print FILENAME ":" FNR ": " $0
+    }
+' $manifests)
+if [ -n "$bad" ]; then
+    echo "$bad"
+    echo "FAIL: version-requirement dependency found (crates.io lookup)" >&2
+    exit 1
+fi
+echo "ok: no external dependencies declared"
+
+echo "== hermetic check: offline release build (all targets) =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== hermetic check: offline test suite =="
+cargo test -q --offline --workspace
+
+echo "hermetic check PASSED"
