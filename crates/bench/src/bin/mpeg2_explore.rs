@@ -3,11 +3,18 @@
 //! 3 software processors with the RTOS model), swept over RTOS overheads,
 //! engine implementation and queue sizing.
 //!
+//! The seven design points are independent full-system simulations, so
+//! they fan out over the `rtsim-campaign` worker pool (`RTSIM_WORKERS`
+//! knob) — exactly the "explore many architectures before committing
+//! the SoC" workflow §5 motivates, at worker-pool speed.
+//! `RTSIM_BENCH_SMOKE=1` shrinks the frame count.
+//!
 //! Run with: `cargo run --release -p rtsim-bench --bin mpeg2_explore`
 
+use rtsim::campaign::Campaign;
 use rtsim::scenarios::{mpeg2_latencies, mpeg2_system, Mpeg2Config};
 use rtsim::{EngineKind, Overheads, SimDuration};
-use rtsim_bench::{fmt_wall, wall_time};
+use rtsim_bench::{fmt_wall, report_campaign, scaled};
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -18,9 +25,18 @@ struct Point {
     config: Mpeg2Config,
 }
 
+/// Deterministic per-point measurements (wall time is reported
+/// separately from the campaign's job metrics).
+#[derive(Debug, Clone, PartialEq)]
+struct PointResult {
+    latencies: Vec<SimDuration>,
+    makespan: SimDuration,
+    preemptions: u64,
+}
+
 fn main() {
     let base = Mpeg2Config {
-        frames: 20,
+        frames: scaled(20, 2) as u64,
         engine: EngineKind::ProcedureCall,
         overheads: Overheads::uniform(us(5)),
         frame_period: us(4_000),
@@ -75,32 +91,41 @@ fn main() {
         },
     ];
 
-    println!("== MPEG-2 SoC design-space exploration (20 frames) ==\n");
+    let cmp = Campaign::new("mpeg2_explore", 2004)
+        .progress_from_env()
+        .run_vs_serial(points.len(), |ctx| {
+            let config = &points[ctx.index()].config;
+            let mut system = mpeg2_system(config).elaborate().expect("model");
+            system.run().expect("run");
+            PointResult {
+                latencies: mpeg2_latencies(&system.trace()),
+                makespan: system.now().since_start(),
+                preemptions: ["CPU0", "CPU1", "CPU2"]
+                    .iter()
+                    .map(|c| system.processor_stats(c).map_or(0, |s| s.preemptions))
+                    .sum(),
+            }
+        });
+    assert_eq!(cmp.report.failed_count(), 0, "a design point panicked");
+
+    println!(
+        "== MPEG-2 SoC design-space exploration ({} frames) ==\n",
+        base.frames
+    );
     println!(
         "{:<26} {:>11} {:>11} {:>11} {:>12} {:>10}",
         "configuration", "avg lat", "max lat", "makespan", "preemptions", "wall"
     );
-    for point in &points {
-        let config = point.config.clone();
-        let mut latencies = Vec::new();
-        let mut makespan = SimDuration::ZERO;
-        let mut preemptions = 0u64;
-        let wall = wall_time(2, || {
-            let mut system = mpeg2_system(&config).elaborate().expect("model");
-            system.run().expect("run");
-            latencies = mpeg2_latencies(&system.trace());
-            makespan = system.now().since_start();
-            preemptions = ["CPU0", "CPU1", "CPU2"]
-                .iter()
-                .map(|c| system.processor_stats(c).map_or(0, |s| s.preemptions))
-                .sum();
-        });
-        let avg = if latencies.is_empty() {
+    for (point, outcome) in points.iter().zip(&cmp.report.outcomes) {
+        let result = outcome.result.as_ref().expect("checked above");
+        let avg = if result.latencies.is_empty() {
             0.0
         } else {
-            latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>() / latencies.len() as f64
+            result.latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>()
+                / result.latencies.len() as f64
         };
-        let max = latencies
+        let max = result
+            .latencies
             .iter()
             .map(|l| l.as_secs_f64())
             .fold(0.0f64, f64::max);
@@ -109,11 +134,12 @@ fn main() {
             point.label,
             avg * 1e6,
             max * 1e6,
-            makespan.as_secs_f64() * 1e6,
-            preemptions,
-            fmt_wall(wall)
+            result.makespan.as_secs_f64() * 1e6,
+            result.preemptions,
+            fmt_wall(outcome.wall)
         );
     }
+    report_campaign(&cmp);
     println!("\n(the numbers a designer extracts before committing the SoC:");
     println!("RTOS overhead stretches latency; a faster camera shortens the");
     println!("makespan but raises contention (more preemptions); queue depth is");

@@ -10,13 +10,20 @@
 //! time-accurate model's error is identically zero; the quantized model's
 //! error is uniform in [0, quantum).
 //!
+//! The samples fan out over the `rtsim-campaign` worker pool: each job
+//! draws one interrupt offset from its forked stream and measures the
+//! reaction delay under every preemption model, so the sampled offsets —
+//! and therefore the whole table — are identical for any
+//! `RTSIM_WORKERS`. `RTSIM_BENCH_SMOKE=1` shrinks the sample count.
+//!
 //! Run with: `cargo run --release -p rtsim-bench --bin quantum_error`
 
-use rtsim::testutil::Rng;
+use rtsim::campaign::Campaign;
 use rtsim::{
     spawn_interrupt_at, DurationSummary, Processor, ProcessorConfig, SimDuration, Simulator,
     TaskConfig, TaskState, TraceRecorder, Waiter,
 };
+use rtsim_bench::{report_campaign, scaled};
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -54,12 +61,26 @@ fn reaction_delay(at: SimDuration, quantum: Option<SimDuration>) -> SimDuration 
     started.since_start() - at
 }
 
+const CONFIGS: [(&str, Option<u64>); 5] = [
+    ("time-accurate (paper)", None),
+    ("quantum 1us", Some(1)),
+    ("quantum 10us", Some(10)),
+    ("quantum 100us", Some(100)),
+    ("quantum 1000us", Some(1_000)),
+];
+
 fn main() {
-    let mut rng = Rng::seed_from_u64(2003);
-    let samples = 100;
-    let offsets: Vec<SimDuration> = (0..samples)
-        .map(|_| us(rng.gen_range(1_000..40_000)))
-        .collect();
+    let samples = scaled(100, 8);
+    // One job per sampled interrupt instant: the job draws its offset
+    // from its forked stream and measures the reaction error under every
+    // preemption model, returning one error column per config.
+    let cmp = Campaign::new("quantum_error", 2003)
+        .progress_from_env()
+        .run_vs_serial(samples, |ctx| {
+            let at = us(ctx.rng().gen_range(1_000..40_000));
+            CONFIGS.map(|(_, quantum)| reaction_delay(at, quantum.map(us)))
+        });
+    assert_eq!(cmp.report.failed_count(), 0, "a sample panicked");
 
     println!("== interrupt reaction error vs preemption model granularity ==\n");
     println!("(the paper's model: zero error; clock-driven baseline: up to one quantum)\n");
@@ -67,18 +88,10 @@ fn main() {
         "{:<22} {:>10} {:>10} {:>10} {:>10}",
         "model", "min err", "mean err", "p95 err", "max err"
     );
-    let configs: [(&str, Option<SimDuration>); 5] = [
-        ("time-accurate (paper)", None),
-        ("quantum 1us", Some(us(1))),
-        ("quantum 10us", Some(us(10))),
-        ("quantum 100us", Some(us(100))),
-        ("quantum 1000us", Some(us(1_000))),
-    ];
-    for (label, quantum) in configs {
-        let errors: Vec<SimDuration> = offsets
-            .iter()
-            .map(|&at| reaction_delay(at, quantum))
-            .collect();
+    for (column, (label, quantum)) in CONFIGS.into_iter().enumerate() {
+        let quantum = quantum.map(us);
+        let errors: Vec<SimDuration> =
+            cmp.report.values().map(|row| row[column]).collect();
         let summary = DurationSummary::from_durations(errors).expect("samples");
         println!(
             "{:<22} {:>10} {:>10} {:>10} {:>10}",
@@ -94,6 +107,7 @@ fn main() {
             assert!(summary.max < q, "error bounded by one quantum");
         }
     }
+    report_campaign(&cmp);
     println!("\n(this is Gerstlauer/Gajski's limitation the paper's §2 cites: the");
     println!("clock-driven model's precision 'depends on the model's clock");
     println!("accuracy', while the event-driven wait-with-timeout mechanism");

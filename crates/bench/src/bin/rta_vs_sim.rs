@@ -8,9 +8,17 @@
 //! it by precisely the switch-in costs when RTOS overheads are enabled.
 //! Any disagreement would indicate a scheduling bug in the model.
 //!
+//! The trials fan out over the `rtsim-campaign` worker pool: each trial
+//! draws its task sets from a stream forked off the campaign seed by
+//! trial index, so `RTSIM_WORKERS=1` and `RTSIM_WORKERS=8` check the
+//! exact same 200 task sets. `RTSIM_BENCH_SMOKE=1` shrinks the trial
+//! count for CI execution.
+//!
 //! Run with: `cargo run --release -p rtsim-bench --bin rta_vs_sim`
 
+use rtsim::campaign::{json::Json, Campaign};
 use rtsim::testutil::Rng;
+use rtsim_bench::{report_campaign, scaled, write_campaign_outputs};
 use rtsim::policies::PriorityPreemptive;
 use rtsim::{
     assign_rate_monotonic, response_time_analysis, utilization, PeriodicTask, Processor,
@@ -92,50 +100,130 @@ fn random_set(rng: &mut Rng, n: usize) -> Vec<PeriodicTask> {
     assign_rate_monotonic(tasks)
 }
 
-fn main() {
-    let mut rng = Rng::seed_from_u64(20040216); // DATE 2004 ;-)
-    let trials = 200;
-    let mut checked = 0u64;
-    let mut exact = 0u64;
-    let mut worst_util = 0.0f64;
+/// Per-trial result. Every field is a pure function of the trial's
+/// forked stream, so serial and parallel runs are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+struct Trial {
+    checked: u64,
+    exact: u64,
+    utilization: f64,
+    /// Candidate sets rejected as unschedulable before this trial's set.
+    rejected: u64,
+    mismatches: Vec<String>,
+}
 
-    for trial in 0..trials {
-        let n = 2 + (trial % 5) as usize;
+/// Draws candidate sets from sub-streams of the trial's generator until
+/// one passes exact RTA, then cross-validates the simulation against it.
+/// Retry-until-schedulable keeps the checked-response count a constant
+/// of the trial plan (sum of set sizes), not of the draw luck.
+fn trial(ctx: &mut rtsim::JobCtx) -> Trial {
+    let n = 2 + (ctx.index() % 5);
+    let mut rejected = 0u64;
+    loop {
+        let mut rng = ctx.fork(rejected);
         let tasks = random_set(&mut rng, n);
         let rta = response_time_analysis(&tasks, SimDuration::ZERO);
         if !rta.iter().all(|r| r.schedulable) {
+            rejected += 1;
             continue;
         }
         let simulated = simulate(&tasks);
+        let mut exact = 0u64;
+        let mut mismatches = Vec::new();
         for ((task, analysis), sim_response) in tasks.iter().zip(&rta).zip(&simulated) {
-            checked += 1;
             if Some(*sim_response) == analysis.worst {
                 exact += 1;
             } else {
-                println!(
+                mismatches.push(format!(
                     "MISMATCH: {} sim {} vs rta {:?} (set utilization {:.2})",
                     task.name,
                     sim_response,
                     analysis.worst,
                     utilization(&tasks)
-                );
-                for t in &tasks {
-                    println!(
-                        "    {}: C={} T={} prio={}",
-                        t.name, t.wcet, t.period, t.priority.0
-                    );
-                }
+                ));
             }
         }
-        worst_util = worst_util.max(utilization(&tasks));
+        return Trial {
+            checked: n as u64,
+            exact,
+            utilization: utilization(&tasks),
+            rejected,
+            mismatches,
+        };
     }
+}
+
+fn main() {
+    let trials = scaled(200, 10);
+    let cmp = Campaign::new("rta_vs_sim", 20040216) // DATE 2004 ;-)
+        .progress_from_env()
+        .run_vs_serial(trials, trial);
+    let report = &cmp.report;
+
+    let mut checked = 0u64;
+    let mut exact = 0u64;
+    let mut rejected = 0u64;
+    let mut worst_util = 0.0f64;
+    for t in report.values() {
+        checked += t.checked;
+        exact += t.exact;
+        rejected += t.rejected;
+        worst_util = worst_util.max(t.utilization);
+        for m in &t.mismatches {
+            println!("{m}");
+        }
+    }
+    assert_eq!(report.failed_count(), 0, "a trial panicked");
 
     println!("== simulation vs exact response-time analysis ==");
     println!("random rate-monotonic sets, synchronous release (critical instant)");
+    println!("trials                 : {trials} ({rejected} unschedulable candidates redrawn)");
     println!("task responses checked : {checked}");
     println!("exact agreements       : {exact}");
     println!("highest utilization    : {worst_util:.2}");
     assert_eq!(checked, exact, "simulation disagreed with theory");
+    report_campaign(&cmp);
+
+    let records: Vec<Json> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().ok().map(|t| (o.index, t)))
+        .map(|(index, t)| {
+            Json::obj([
+                ("trial", Json::from(index)),
+                ("checked", Json::from(t.checked)),
+                ("exact", Json::from(t.exact)),
+                ("utilization", Json::from(t.utilization)),
+                ("rejected", Json::from(t.rejected)),
+            ])
+        })
+        .collect();
+    let mut csv = rtsim::campaign::csv::CsvTable::new([
+        "trial",
+        "checked",
+        "exact",
+        "utilization",
+        "rejected",
+    ]);
+    for (index, t) in report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().ok().map(|t| (o.index, t)))
+    {
+        csv.row([
+            index.to_string(),
+            t.checked.to_string(),
+            t.exact.to_string(),
+            format!("{:.4}", t.utilization),
+            t.rejected.to_string(),
+        ]);
+    }
+    write_campaign_outputs(
+        "rta_vs_sim",
+        &rtsim::campaign::json::to_jsonl(&records),
+        &csv.to_string(),
+    );
+
     println!("\nall simulated responses equal the analytic worst case — the RTOS");
     println!("model's priority-preemptive scheduling is exact at the critical instant.");
 }

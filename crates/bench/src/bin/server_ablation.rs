@@ -3,13 +3,21 @@
 //! (Buttazzo, the paper's reference \[10\]), demonstrated on the `rtsim`
 //! RTOS model.
 //!
+//! The five server configurations are independent simulations over the
+//! same aperiodic load, so they fan out over the `rtsim-campaign`
+//! worker pool (`RTSIM_WORKERS` knob); the load itself is drawn once
+//! from the campaign root stream so every strategy sees identical
+//! arrivals. `RTSIM_BENCH_SMOKE=1` shrinks the arrival count.
+//!
 //! Run with: `cargo run --release -p rtsim-bench --bin server_ablation`
 
+use rtsim::campaign::Campaign;
 use rtsim::testutil::Rng;
 use rtsim::{
     spawn_polling_server, AperiodicQueue, DurationSummary, PollingServerConfig, Processor,
     ProcessorConfig, SimDuration, SimTime, Simulator, TaskConfig, TaskState, TraceRecorder,
 };
+use rtsim_bench::{report_campaign, scaled};
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -27,6 +35,7 @@ fn arrivals(rng: &mut Rng, count: usize) -> Vec<(SimDuration, SimDuration)> {
         .collect()
 }
 
+#[derive(Debug, Clone, PartialEq)]
 struct Outcome {
     aperiodic: Option<DurationSummary>,
     periodic_worst_us: u64,
@@ -108,23 +117,35 @@ fn run(arrivals: &[(SimDuration, SimDuration)], period: SimDuration, budget: Sim
     }
 }
 
+const STRATEGIES: [(&str, u64, u64); 5] = [
+    ("polling 1ms/100us", 1_000, 100),
+    ("polling 1ms/300us", 1_000, 300),
+    ("polling 1ms/500us", 1_000, 500),
+    ("polling 5ms/1500us", 5_000, 1_500),
+    ("polling 10ms/5000us", 10_000, 5_000),
+];
+
 fn main() {
-    let mut rng = Rng::seed_from_u64(42);
-    let load = arrivals(&mut rng, 60);
+    // The load is drawn from the campaign root stream (seed 42, stream
+    // 0) so it is shared by every strategy — the ablation varies only
+    // the server parameters.
+    let mut rng = Rng::seed_from_u64(42).fork(0);
+    let load = arrivals(&mut rng, scaled(60, 12));
+
+    let cmp = Campaign::new("server_ablation", 42)
+        .progress_from_env()
+        .run_vs_serial(STRATEGIES.len(), |ctx| {
+            let (_, period, budget) = STRATEGIES[ctx.index()];
+            run(&load, us(period), us(budget))
+        });
+    assert_eq!(cmp.report.failed_count(), 0, "a strategy panicked");
 
     println!("== aperiodic service: the polling-server budget/period trade-off ==\n");
     println!(
         "{:<28} {:>16} {:>14} {:>16}",
         "strategy", "aperiodic p95", "aperiodic max", "periodic worst"
     );
-    for (label, period, budget) in [
-        ("polling 1ms/100us", us(1_000), us(100)),
-        ("polling 1ms/300us", us(1_000), us(300)),
-        ("polling 1ms/500us", us(1_000), us(500)),
-        ("polling 5ms/1500us", us(5_000), us(1_500)),
-        ("polling 10ms/5000us", us(10_000), us(5_000)),
-    ] {
-        let outcome = run(&load, period, budget);
+    for ((label, _, _), outcome) in STRATEGIES.into_iter().zip(cmp.report.values()) {
         let (p95, max) = outcome
             .aperiodic
             .map(|s| (s.p95.to_string(), s.max.to_string()))
@@ -134,6 +155,7 @@ fn main() {
             label, p95, max, outcome.periodic_worst_us
         );
     }
+    report_campaign(&cmp);
     println!("\n(bigger budgets serve aperiodics faster but push the periodic");
     println!("task's worst response up — the budget is the knob that trades");
     println!("event latency against deadline margin)");

@@ -1,0 +1,73 @@
+//! Executes the campaign-driven harness binaries end to end under
+//! `RTSIM_BENCH_SMOKE=1`, so a bin that stops compiling, panics, or
+//! loses its determinism assertion fails the test suite instead of
+//! rotting silently. Cargo builds the package's binaries for
+//! integration tests and exposes their paths as `CARGO_BIN_EXE_*`.
+
+use std::process::Command;
+
+/// Runs one harness binary in smoke mode on a small worker pool and
+/// returns its stdout. The bins assert their own correctness claims
+/// (e.g. sim == RTA, serial == parallel) and exit nonzero on failure.
+fn run_smoke(bin: &str) -> String {
+    let output = Command::new(bin)
+        .env("RTSIM_BENCH_SMOKE", "1")
+        .env("RTSIM_WORKERS", "2")
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        output.status.success(),
+        "{bin} failed with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn rta_vs_sim_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_rta_vs_sim"));
+    assert!(out.contains("exact agreements"), "{out}");
+    assert!(out.contains("results identical"), "{out}");
+}
+
+#[test]
+fn quantum_error_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_quantum_error"));
+    assert!(out.contains("time-accurate (paper)"), "{out}");
+    assert!(out.contains("results identical"), "{out}");
+}
+
+#[test]
+fn server_ablation_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_server_ablation"));
+    assert!(out.contains("polling 1ms/100us"), "{out}");
+    assert!(out.contains("results identical"), "{out}");
+}
+
+#[test]
+fn mpeg2_explore_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_mpeg2_explore"));
+    assert!(out.contains("design-space exploration (2 frames)"), "{out}");
+    assert!(out.contains("results identical"), "{out}");
+}
+
+#[test]
+fn campaign_outputs_are_written_when_requested() {
+    let dir = std::env::temp_dir().join(format!("rtsim-campaign-out-{}", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_rta_vs_sim"))
+        .env("RTSIM_BENCH_SMOKE", "1")
+        .env("RTSIM_WORKERS", "2")
+        .env("RTSIM_CAMPAIGN_OUT", &dir)
+        .output()
+        .expect("spawn rta_vs_sim");
+    assert!(output.status.success());
+    let jsonl = std::fs::read_to_string(dir.join("rta_vs_sim.jsonl")).expect("jsonl written");
+    let csv = std::fs::read_to_string(dir.join("rta_vs_sim.csv")).expect("csv written");
+    assert_eq!(jsonl.lines().count(), 10, "one record per smoke trial");
+    assert!(jsonl.lines().all(|l| l.starts_with("{\"trial\":")));
+    assert!(csv.starts_with("trial,checked,exact,utilization,rejected\r\n"));
+    assert_eq!(csv.lines().count(), 11, "header + one row per trial");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,219 @@
+//! Hand-rolled JSON values and a JSONL campaign-output writer.
+//!
+//! The workspace builds offline with an empty registry, so `serde` is
+//! off the table; campaigns need only *emission*, and only of plain
+//! records, which this covers in under 200 lines. Rendering is
+//! deterministic: object keys keep insertion order and floats use Rust's
+//! shortest-round-trip formatting, so a campaign's JSONL is
+//! byte-comparable across runs and worker counts.
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// A JSON value (emission only — there is deliberately no parser).
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_campaign::json::Json;
+///
+/// let rec = Json::obj([
+///     ("job", Json::from(3u64)),
+///     ("label", Json::from("fast \"case\"")),
+///     ("latencies", Json::from_iter([1.5f64, 2.0])),
+/// ]);
+/// assert_eq!(
+///     rec.to_string(),
+///     r#"{"job":3,"label":"fast \"case\"","latencies":[1.5,2]}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (emitted without decimal point).
+    U64(u64),
+    /// Signed integer (emitted without decimal point).
+    I64(i64),
+    /// Floating point; non-finite values are emitted as `null` (JSON has
+    /// no NaN/Infinity).
+    F64(f64),
+    /// String (escaped per RFC 8259 on emission).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; keys keep insertion order for deterministic output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> FromIterator<T> for Json {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Json {
+        Json::Arr(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => write!(f, "{v}"),
+            Json::I64(v) => write!(f, "{v}"),
+            Json::F64(v) if v.is_finite() => write!(f, "{v}"),
+            Json::F64(_) => f.write_str("null"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    item.fmt(f)?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    value.fmt(f)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Emits `s` as a JSON string literal with RFC 8259 escaping.
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Renders records as JSON Lines: one compact object per line.
+///
+/// The output is deterministic for deterministic input — this is what
+/// the campaign determinism tests byte-compare across worker counts.
+pub fn to_jsonl<'a, I: IntoIterator<Item = &'a Json>>(records: I) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Streams records to `out` as JSON Lines.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O errors.
+pub fn write_jsonl<'a, W: Write, I: IntoIterator<Item = &'a Json>>(
+    out: &mut W,
+    records: I,
+) -> io::Result<()> {
+    for rec in records {
+        writeln!(out, "{rec}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::from(true).to_string(), "true");
+        assert_eq!(Json::from(42u64).to_string(), "42");
+        assert_eq!(Json::from(-7i64).to_string(), "-7");
+        assert_eq!(Json::from(1.25f64).to_string(), "1.25");
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.to_string(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn nested_structures_keep_order() {
+        let v = Json::obj([
+            ("z", Json::from(1u64)),
+            ("a", Json::from_iter([Json::Null, Json::from(2u64)])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"z":1,"a":[null,2]}"#);
+    }
+
+    #[test]
+    fn jsonl_one_line_per_record() {
+        let records = [Json::from(1u64), Json::obj([("k", Json::from("v"))])];
+        let text = to_jsonl(&records);
+        assert_eq!(text, "1\n{\"k\":\"v\"}\n");
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), text);
+    }
+}

@@ -1,0 +1,485 @@
+//! The campaign engine: job context, worker pool, report.
+//!
+//! Work distribution is chunked self-scheduling: workers claim
+//! contiguous index chunks from a shared atomic cursor, so cheap jobs
+//! amortize the claim and expensive jobs still balance. Completions flow
+//! back over a `rtsim_kernel::sync` channel to a collector that stores
+//! them by job index — arrival order (nondeterministic) never leaks into
+//! the report.
+
+use std::env;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rtsim_kernel::sync::unbounded;
+use rtsim_kernel::testutil::Rng;
+
+use crate::stats::StatSummary;
+
+/// Per-job execution context handed to the job closure.
+///
+/// The embedded generator is forked from the campaign seed by job index,
+/// so every job sees the same stream regardless of which worker runs it
+/// or in what order.
+#[derive(Debug)]
+pub struct JobCtx {
+    index: usize,
+    campaign_seed: u64,
+    worker: usize,
+    rng: Rng,
+}
+
+impl JobCtx {
+    /// This job's index in `0..jobs`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The campaign-level seed every job stream was forked from.
+    pub fn campaign_seed(&self) -> u64 {
+        self.campaign_seed
+    }
+
+    /// Index of the worker thread running this job. **Not deterministic**
+    /// across runs — use it for diagnostics only, never to derive
+    /// results.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// This job's private deterministic generator.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Forks a named sub-stream of this job's stream — e.g. one stream
+    /// per retry attempt, independent of draws already made.
+    pub fn fork(&self, stream_id: u64) -> Rng {
+        self.rng.fork(stream_id)
+    }
+}
+
+/// Why a job failed: the captured panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic message (`&str`/`String` payloads; otherwise a
+    /// placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// One job's outcome: its value or captured panic, plus wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct JobOutcome<T> {
+    /// The job's index in `0..jobs`.
+    pub index: usize,
+    /// Wall-clock time this job took on its worker.
+    pub wall: Duration,
+    /// The produced value, or the captured panic.
+    pub result: Result<T, JobPanic>,
+}
+
+/// Live progress snapshot passed to the progress callback after each
+/// completion.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Jobs finished so far (ok + failed).
+    pub completed: usize,
+    /// Total jobs in the campaign.
+    pub total: usize,
+    /// Failed (panicked) jobs so far.
+    pub failed: usize,
+    /// Wall time since the campaign started.
+    pub elapsed: Duration,
+}
+
+/// Reads the worker count from `RTSIM_WORKERS`, defaulting to the
+/// machine's available parallelism (at least 1).
+pub fn workers_from_env() -> usize {
+    env::var("RTSIM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// A deterministic parallel batch run: N independent jobs fanned out
+/// over a worker pool, results aggregated in job-index order.
+///
+/// See the [crate docs](crate) for the determinism and isolation
+/// guarantees.
+pub struct Campaign {
+    name: String,
+    seed: u64,
+    workers: usize,
+    chunk: Option<usize>,
+    on_progress: Option<Box<dyn Fn(&Progress) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("name", &self.name)
+            .field("seed", &self.seed)
+            .field("workers", &self.workers)
+            .field("chunk", &self.chunk)
+            .finish()
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign. Worker count defaults to
+    /// [`workers_from_env`] (the `RTSIM_WORKERS` knob).
+    pub fn new(name: &str, seed: u64) -> Self {
+        Campaign {
+            name: name.to_owned(),
+            seed,
+            workers: workers_from_env(),
+            chunk: None,
+            on_progress: None,
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the claim-chunk size (default: `jobs / (workers * 4)`,
+    /// clamped to `1..=64`).
+    #[must_use]
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
+    /// Installs a live progress callback, invoked by the collector
+    /// thread after every completion.
+    #[must_use]
+    pub fn on_progress(mut self, f: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        self.on_progress = Some(Box::new(f));
+        self
+    }
+
+    /// Reports progress on stderr (overwriting one line, ~20 updates per
+    /// campaign) when `RTSIM_PROGRESS=1` is set.
+    #[must_use]
+    pub fn progress_from_env(self) -> Self {
+        if env::var("RTSIM_PROGRESS").as_deref() != Ok("1") {
+            return self;
+        }
+        let name = self.name.clone();
+        self.on_progress(move |p| {
+            let step = (p.total / 20).max(1);
+            if p.completed % step == 0 || p.completed == p.total {
+                eprint!(
+                    "\r[{name}] {}/{} jobs ({} failed, {:.1}s){}",
+                    p.completed,
+                    p.total,
+                    p.failed,
+                    p.elapsed.as_secs_f64(),
+                    if p.completed == p.total { "\n" } else { "" },
+                );
+            }
+        })
+    }
+
+    /// Runs `jobs` instances of `job` across the worker pool and
+    /// collects every outcome in job-index order.
+    ///
+    /// The closure receives a [`JobCtx`] carrying the job's private
+    /// forked generator. A panicking job is captured as
+    /// [`JobPanic`] in its slot; the campaign always completes.
+    pub fn run<T, F>(&self, jobs: usize, job: F) -> Report<T>
+    where
+        T: Send,
+        F: Fn(&mut JobCtx) -> T + Send + Sync,
+    {
+        let started = Instant::now();
+        let workers = self.workers.min(jobs.max(1));
+        let chunk = self
+            .chunk
+            .unwrap_or_else(|| (jobs / (workers * 4).max(1)).clamp(1, 64));
+        let root = Rng::seed_from_u64(self.seed);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = unbounded::<JobOutcome<T>>();
+        let job = &job;
+        let root = &root;
+        let cursor = &cursor;
+
+        let mut slots: Vec<Option<JobOutcome<T>>> = Vec::new();
+        slots.resize_with(jobs, || None);
+        let mut failed = 0usize;
+
+        thread::scope(|scope| {
+            for worker in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= jobs {
+                        break;
+                    }
+                    for index in start..(start + chunk).min(jobs) {
+                        let mut ctx = JobCtx {
+                            index,
+                            campaign_seed: self.seed,
+                            worker,
+                            rng: root.fork(index as u64),
+                        };
+                        let t0 = Instant::now();
+                        let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)))
+                            .map_err(|payload| JobPanic {
+                                message: panic_message(payload.as_ref()),
+                            });
+                        let outcome = JobOutcome {
+                            index,
+                            wall: t0.elapsed(),
+                            result,
+                        };
+                        if tx.send(outcome).is_err() {
+                            return; // collector gone; nothing to report to
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            // Collector: runs on the scope's own thread so progress is
+            // live, not post-hoc. Arrival order is nondeterministic;
+            // slots are keyed by index.
+            for completed in 1..=jobs {
+                let outcome = rx.recv().expect("workers ended before finishing all jobs");
+                if outcome.result.is_err() {
+                    failed += 1;
+                }
+                let index = outcome.index;
+                slots[index] = Some(outcome);
+                if let Some(cb) = &self.on_progress {
+                    cb(&Progress {
+                        completed,
+                        total: jobs,
+                        failed,
+                        elapsed: started.elapsed(),
+                    });
+                }
+            }
+        });
+
+        Report {
+            name: self.name.clone(),
+            seed: self.seed,
+            workers,
+            wall: started.elapsed(),
+            outcomes: slots
+                .into_iter()
+                .map(|s| s.expect("every job slot filled"))
+                .collect(),
+        }
+    }
+
+    /// Runs the campaign twice — once on a single worker, once on the
+    /// configured pool — asserts the values are identical, and returns
+    /// both wall times. This is the "trust but verify" entry point the
+    /// bench harnesses use to print serial-vs-parallel wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serial and parallel runs disagree on any job's
+    /// value or failure — that would mean a job broke the determinism
+    /// contract (e.g. read ambient state instead of its [`JobCtx`]).
+    pub fn run_vs_serial<T, F>(&self, jobs: usize, job: F) -> Comparison<T>
+    where
+        T: Send + PartialEq,
+        F: Fn(&mut JobCtx) -> T + Send + Sync,
+    {
+        let serial = Campaign {
+            name: self.name.clone(),
+            seed: self.seed,
+            workers: 1,
+            chunk: self.chunk,
+            on_progress: None,
+        }
+        .run(jobs, &job);
+        if self.workers == 1 {
+            return Comparison {
+                serial_wall: serial.wall,
+                parallel_wall: serial.wall,
+                report: serial,
+            };
+        }
+        let parallel = self.run(jobs, &job);
+        for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            match (&s.result, &p.result) {
+                (Ok(a), Ok(b)) if a == b => {}
+                (Err(_), Err(_)) => {}
+                _ => panic!(
+                    "campaign `{}` job {} diverged between 1 and {} workers",
+                    self.name, s.index, self.workers
+                ),
+            }
+        }
+        Comparison {
+            serial_wall: serial.wall,
+            parallel_wall: parallel.wall,
+            report: parallel,
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Serial-vs-parallel comparison produced by [`Campaign::run_vs_serial`].
+#[derive(Debug)]
+pub struct Comparison<T> {
+    /// The (parallel) campaign report.
+    pub report: Report<T>,
+    /// Wall time of the single-worker run.
+    pub serial_wall: Duration,
+    /// Wall time of the configured-pool run.
+    pub parallel_wall: Duration,
+}
+
+impl<T> Comparison<T> {
+    /// Serial wall divided by parallel wall.
+    pub fn speedup(&self) -> f64 {
+        let p = self.parallel_wall.as_secs_f64();
+        if p > 0.0 {
+            self.serial_wall.as_secs_f64() / p
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregated outcome of a campaign: every job's result in index order,
+/// plus identifying metadata and wall-clock totals.
+#[derive(Debug, Clone)]
+pub struct Report<T> {
+    /// Campaign name (used in diagnostics and output files).
+    pub name: String,
+    /// The campaign seed all job streams were forked from.
+    pub seed: u64,
+    /// Worker count actually used.
+    pub workers: usize,
+    /// Total campaign wall time.
+    pub wall: Duration,
+    /// Every job's outcome, in job-index order.
+    pub outcomes: Vec<JobOutcome<T>>,
+}
+
+impl<T> Report<T> {
+    /// Values of the successful jobs, in job-index order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.outcomes.iter().filter_map(|o| o.result.as_ref().ok())
+    }
+
+    /// Failed jobs as `(index, panic)` pairs, in job-index order.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &JobPanic)> + '_ {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().err().map(|p| (o.index, p)))
+    }
+
+    /// Number of successful jobs.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+
+    /// Number of panicked jobs.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes.len() - self.ok_count()
+    }
+
+    /// Consumes the report, returning every value if all jobs succeeded,
+    /// or the first failure as `(index, panic)`.
+    pub fn into_values(self) -> Result<Vec<T>, (usize, JobPanic)> {
+        self.outcomes
+            .into_iter()
+            .map(|o| o.result.map_err(|p| (o.index, p)))
+            .collect()
+    }
+
+    /// Summary of per-job wall-clock times, in seconds.
+    pub fn job_wall_summary(&self) -> Option<StatSummary> {
+        StatSummary::from_values(self.outcomes.iter().map(|o| o.wall.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order_with_many_workers() {
+        let report = Campaign::new("order", 1).workers(8).chunk(1).run(50, |ctx| ctx.index());
+        let values: Vec<usize> = report.values().copied().collect();
+        assert_eq!(values, (0..50).collect::<Vec<_>>());
+        assert_eq!(report.workers, 8);
+    }
+
+    #[test]
+    fn zero_jobs_is_an_empty_report() {
+        let report = Campaign::new("empty", 1).run(0, |_| 1u8);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.ok_count(), 0);
+        assert!(report.job_wall_summary().is_none());
+    }
+
+    #[test]
+    fn progress_callback_sees_every_completion() {
+        use std::sync::Mutex;
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&seen);
+        let report = Campaign::new("prog", 1)
+            .workers(3)
+            .on_progress(move |p| sink.lock().unwrap().push((p.completed, p.total)))
+            .run(10, |ctx| ctx.index());
+        assert_eq!(report.ok_count(), 10);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 10);
+        assert_eq!(*seen.last().unwrap(), (10, 10));
+    }
+
+    #[test]
+    fn workers_from_env_parses_and_defaults() {
+        // NB: env mutation is process-global; keep both cases in one test
+        // so they cannot race each other in the parallel test harness.
+        std::env::set_var("RTSIM_WORKERS", "3");
+        assert_eq!(workers_from_env(), 3);
+        std::env::set_var("RTSIM_WORKERS", "0");
+        assert!(workers_from_env() >= 1);
+        std::env::remove_var("RTSIM_WORKERS");
+        assert!(workers_from_env() >= 1);
+    }
+
+    #[test]
+    fn job_wall_summary_counts_every_job() {
+        let report = Campaign::new("wall", 9).workers(2).run(8, |ctx| {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+            ctx.index()
+        });
+        let summary = report.job_wall_summary().unwrap();
+        assert_eq!(summary.count, 8);
+        assert!(summary.max >= summary.min);
+    }
+}

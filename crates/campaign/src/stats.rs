@@ -1,0 +1,259 @@
+//! Result aggregation: scalar summaries and histogram buckets.
+//!
+//! The `rtsim-trace` crate has [`DurationSummary`] for simulated-time
+//! samples; campaigns aggregate arbitrary scalar metrics (wall seconds,
+//! error counts, utilizations), so this is the `f64` counterpart plus a
+//! fixed-width bucket histogram for distribution shapes.
+//!
+//! [`DurationSummary`]: https://docs.rs/rtsim-trace
+
+use std::fmt;
+
+/// Summary statistics of a set of `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_campaign::StatSummary;
+///
+/// let s = StatSummary::from_values([5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.max, 5.0);
+/// assert!((s.mean - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Lower median.
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl StatSummary {
+    /// Summarizes the samples; `None` when empty or any sample is NaN.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Option<Self> {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        if sorted.is_empty() || sorted.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / count as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let rank = |q_num: usize, q_den: usize| -> f64 {
+            let idx = (q_num * count).div_ceil(q_den).saturating_sub(1);
+            sorted[idx.min(count - 1)]
+        };
+        Some(StatSummary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            median: rank(1, 2),
+            p95: rank(95, 100),
+            sum,
+            stddev: var.sqrt(),
+        })
+    }
+}
+
+impl fmt::Display for StatSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.4} mean={:.4} median={:.4} p95={:.4} max={:.4} sd={:.4}",
+            self.count, self.min, self.mean, self.median, self.p95, self.max, self.stddev
+        )
+    }
+}
+
+/// A fixed-range, fixed-width bucket histogram with under/overflow
+/// counters.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_campaign::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [0.5, 1.5, 2.5, 2.6, 11.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts(), &[2, 2, 0, 0, 0]); // buckets are 2.0 wide
+
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "empty range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one sample (NaN counts as overflow — it fits no bucket).
+    pub fn add(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi || value.is_nan() {
+            self.overflow += 1;
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every sample of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples added, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` bounds of bucket `idx`.
+    pub fn bucket_bounds(&self, idx: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (
+            self.lo + width * idx as f64,
+            self.lo + width * (idx + 1) as f64,
+        )
+    }
+
+    /// Renders an ASCII bar chart, one bucket per line, bars scaled to
+    /// `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            let _ = writeln!(out, "{:>22} {:>7}", "< range", self.underflow);
+        }
+        for (idx, &count) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bucket_bounds(idx);
+            let bar = "#".repeat(((count as usize) * width).div_ceil(peak as usize).min(width));
+            let _ = writeln!(out, "[{lo:>9.3}, {hi:>9.3}) {count:>7} {bar}");
+        }
+        if self.overflow > 0 {
+            let _ = writeln!(out, "{:>22} {:>7}", ">= range", self.overflow);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles_match_trace_convention() {
+        let s = StatSummary::from_values((1..=100).map(|v| v as f64)).unwrap();
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.sum, 5050.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!(s.stddev > 28.8 && s.stddev < 28.9); // sqrt(833.25)
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert_eq!(StatSummary::from_values([]), None);
+        assert_eq!(StatSummary::from_values([1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn summary_singleton() {
+        let s = StatSummary::from_values([7.5]).unwrap();
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0); // first bucket, inclusive lower edge
+        h.add(9.999); // last bucket
+        h.add(10.0); // overflow, exclusive upper edge
+        h.add(-0.1); // underflow
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bucket_bounds(3), (3.0, 4.0));
+    }
+
+    #[test]
+    fn histogram_renders_bars_and_tails() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.extend([0.5, 0.6, 2.5, -1.0, 9.0]);
+        let text = h.render(10);
+        assert!(text.contains("< range"));
+        assert!(text.contains(">= range"));
+        assert!(text.contains("##"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

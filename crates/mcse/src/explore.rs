@@ -6,10 +6,19 @@
 //! packages the loop every exploration harness repeats: build a variant,
 //! elaborate, run, collect makespan / utilization / constraint verdicts,
 //! and tabulate.
+//!
+//! Sweeps run on the `rtsim-campaign` worker pool: variants are
+//! independent simulations, so [`run_variants`] fans them out across
+//! `RTSIM_WORKERS` threads (default: all cores) and still returns
+//! outcomes in declaration order with deterministic results — a variant
+//! model never observes which worker ran it. Use
+//! [`run_variants_parallel`] to pin the worker count explicitly.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
+use rtsim_campaign::{workers_from_env, Campaign};
 use rtsim_kernel::{KernelError, SimTime};
 
 use crate::constraint::ConstraintReport;
@@ -72,6 +81,14 @@ pub enum ExploreError {
         /// The underlying error.
         source: KernelError,
     },
+    /// A variant's job panicked on its worker (caught by the campaign
+    /// engine's panic isolation; the other variants still completed).
+    Panicked {
+        /// The failing variant.
+        variant: String,
+        /// The captured panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -82,6 +99,9 @@ impl fmt::Display for ExploreError {
             }
             ExploreError::Kernel { variant, source } => {
                 write!(f, "variant `{variant}`: {source}")
+            }
+            ExploreError::Panicked { variant, message } => {
+                write!(f, "variant `{variant}` panicked: {message}")
             }
         }
     }
@@ -133,42 +153,89 @@ pub fn run_variants(
     variants: Vec<Variant>,
     until: Option<SimTime>,
 ) -> Result<Vec<VariantOutcome>, ExploreError> {
-    let mut outcomes = Vec::with_capacity(variants.len());
-    for variant in variants {
-        let name = variant.name;
-        let mut system = variant.model.elaborate().map_err(|source| {
-            ExploreError::Model {
-                variant: name.clone(),
-                source,
-            }
-        })?;
-        let result = match until {
-            Some(t) => system.run_until(t),
-            None => system.run(),
-        };
-        result.map_err(|source| ExploreError::Kernel {
+    run_variants_parallel(variants, until, workers_from_env())
+}
+
+/// [`run_variants`] with an explicit worker count.
+///
+/// Each variant becomes one job on a `rtsim-campaign` pool. Outcomes
+/// come back in declaration order and are identical for any `workers`
+/// value (each simulation is self-contained); `workers = 1` reproduces
+/// the historical serial sweep exactly.
+///
+/// # Errors
+///
+/// Unlike a serial sweep, every variant runs even when an earlier one
+/// fails; the error reported is the *first* failing variant in
+/// declaration order.
+pub fn run_variants_parallel(
+    variants: Vec<Variant>,
+    until: Option<SimTime>,
+    workers: usize,
+) -> Result<Vec<VariantOutcome>, ExploreError> {
+    let jobs = variants.len();
+    // Jobs take ownership of their variant by index through a slot; a
+    // campaign job closure is `Fn`, so moving out requires interior
+    // mutability. Each slot is locked exactly once.
+    let slots: Vec<Mutex<Option<Variant>>> =
+        variants.into_iter().map(|v| Mutex::new(Some(v))).collect();
+    let report = Campaign::new("mcse-explore", 0)
+        .workers(workers)
+        .run(jobs, |ctx| {
+            let variant = slots[ctx.index()]
+                .lock()
+                .expect("slot lock")
+                .take()
+                .expect("each job claims its own slot once");
+            run_one(variant, until)
+        });
+    report
+        .outcomes
+        .into_iter()
+        .map(|outcome| match outcome.result {
+            Ok(result) => result,
+            Err(panic) => Err(ExploreError::Panicked {
+                variant: format!("#{}", outcome.index),
+                message: panic.message,
+            }),
+        })
+        .collect()
+}
+
+/// Elaborates and runs a single variant, collecting its outcome.
+fn run_one(variant: Variant, until: Option<SimTime>) -> Result<VariantOutcome, ExploreError> {
+    let name = variant.name;
+    let mut system = variant.model.elaborate().map_err(|source| {
+        ExploreError::Model {
             variant: name.clone(),
             source,
-        })?;
-        let processor_utilization = system
-            .processor_names()
-            .map(str::to_owned)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .filter_map(|p| {
-                system
-                    .processor_utilization(&p)
-                    .map(|u| (p, u))
-            })
-            .collect();
-        outcomes.push(VariantOutcome {
-            name,
-            makespan: system.now(),
-            processor_utilization,
-            constraints: system.verify_constraints(),
-        });
-    }
-    Ok(outcomes)
+        }
+    })?;
+    let result = match until {
+        Some(t) => system.run_until(t),
+        None => system.run(),
+    };
+    result.map_err(|source| ExploreError::Kernel {
+        variant: name.clone(),
+        source,
+    })?;
+    let processor_utilization = system
+        .processor_names()
+        .map(str::to_owned)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter_map(|p| {
+            system
+                .processor_utilization(&p)
+                .map(|u| (p, u))
+        })
+        .collect();
+    Ok(VariantOutcome {
+        name,
+        makespan: system.now(),
+        processor_utilization,
+        constraints: system.verify_constraints(),
+    })
 }
 
 /// Renders outcomes as a text table.
@@ -254,5 +321,50 @@ mod tests {
         let err = run_variants(vec![Variant::new("bad", broken)], None).unwrap_err();
         assert!(err.to_string().contains("bad"));
         assert!(err.to_string().contains("orphan"));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        let sweep = |workers| {
+            run_variants_parallel(
+                (0..12)
+                    .map(|i| Variant::new(&format!("v{i}"), build(5 + i * 5)))
+                    .collect(),
+                None,
+                workers,
+            )
+            .unwrap()
+        };
+        let serial = sweep(1);
+        let parallel = sweep(4);
+        assert_eq!(serial.len(), 12);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.makespan, p.makespan);
+            assert_eq!(s.processor_utilization, p.processor_utilization);
+            assert_eq!(
+                s.constraints.all_satisfied(),
+                p.constraints.all_satisfied()
+            );
+        }
+    }
+
+    #[test]
+    fn failing_variant_does_not_stop_the_others() {
+        let mut broken = SystemModel::new("broken");
+        broken.function(TaskConfig::new("orphan"), |_a, _io| {});
+        let err = run_variants_parallel(
+            vec![
+                Variant::new("ok-1", build(10)),
+                Variant::new("bad", broken),
+                Variant::new("ok-2", build(10)),
+            ],
+            None,
+            2,
+        )
+        .unwrap_err();
+        // The failure is reported (first failing variant in declaration
+        // order), and reaching it means the pool completed the campaign.
+        assert!(err.to_string().contains("bad"));
     }
 }

@@ -69,7 +69,7 @@ pub mod explore;
 pub mod model;
 
 pub use codegen::{generate_freertos, GeneratedCode};
-pub use explore::{run_variants, Variant, VariantOutcome};
+pub use explore::{run_variants, run_variants_parallel, Variant, VariantOutcome};
 pub use constraint::{ConstraintReport, ConstraintResult, TimingConstraint};
 pub use elaborate::{ElaboratedSystem, Io};
 pub use error::ModelError;

@@ -13,7 +13,10 @@
 //! - [`comm`] — the MCSE communication relations: events, message
 //!   queues, shared variables;
 //! - [`mcse`] — functional-model capture, elaboration and timing-
-//!   constraint verification.
+//!   constraint verification;
+//! - [`campaign`] — deterministic parallel batch simulation: fan
+//!   independent runs (sweeps, Monte-Carlo trials, ablations) out over
+//!   a worker pool with bit-identical results for any `RTSIM_WORKERS`.
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -43,12 +46,14 @@
 
 pub mod scenarios;
 
+pub use rtsim_campaign as campaign;
 pub use rtsim_comm as comm;
 pub use rtsim_core as core;
 pub use rtsim_kernel as kernel;
 pub use rtsim_mcse as mcse;
 pub use rtsim_trace as trace;
 
+pub use rtsim_campaign::{Campaign, JobCtx, StatSummary};
 pub use rtsim_comm::{EventPolicy, LockMode, MessageQueue, Rendezvous, RtEvent, SharedVar};
 pub use rtsim_core::{
     assign_rate_monotonic, liu_layland_bound, response_time_analysis, schedulable,
@@ -64,8 +69,9 @@ pub use rtsim_kernel::{
     Event, KernelError, KernelStats, ProcessContext, SimDuration, SimTime, Simulator, Wake,
 };
 pub use rtsim_mcse::{
-    generate_freertos, run_variants, ConstraintReport, ElaboratedSystem, GeneratedCode, Io,
-    Mapping, Message, ModelError, SystemModel, TimingConstraint, Variant, VariantOutcome,
+    generate_freertos, run_variants, run_variants_parallel, ConstraintReport, ElaboratedSystem,
+    GeneratedCode, Io, Mapping, Message, ModelError, SystemModel, TimingConstraint, Variant,
+    VariantOutcome,
 };
 pub use rtsim_trace::{
     write_csv, write_vcd, ActorId, ActorKind, CommKind, DurationSummary, Job, Measure, OverheadKind,

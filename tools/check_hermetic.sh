@@ -15,7 +15,24 @@ cd "$repo"
 forbidden='rand|proptest|criterion|crossbeam|parking_lot|serde|tokio|rayon|libc'
 
 echo "== hermetic check: manifests =="
+# The scan globs for manifests rather than naming them, so any newly
+# added workspace member is covered automatically. Guard the two ways a
+# new crate could dodge it: the root workspace must keep the `crates/*`
+# member glob, and every crates/* directory must actually carry a
+# manifest the find below will pick up.
+if ! grep -Eq '^\s*members\s*=\s*\["crates/\*"\]' "$repo/Cargo.toml"; then
+    echo "FAIL: root Cargo.toml no longer globs members as [\"crates/*\"];" >&2
+    echo "      a hand-listed member set can silently omit new crates" >&2
+    exit 1
+fi
+for dir in "$repo"/crates/*/; do
+    if [ ! -f "$dir/Cargo.toml" ]; then
+        echo "FAIL: $dir has no Cargo.toml (stray directory under crates/)" >&2
+        exit 1
+    fi
+done
 manifests=$(find "$repo" -name Cargo.toml -not -path '*/target/*')
+echo "scanning $(echo "$manifests" | wc -l) manifests (root + $(ls -d "$repo"/crates/*/ | wc -l) members)"
 if grep -En "^[[:space:]]*($forbidden)[[:space:]]*=" $manifests; then
     echo "FAIL: external dependency named in a manifest (see above)" >&2
     exit 1
