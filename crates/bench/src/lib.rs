@@ -43,20 +43,10 @@ pub fn fmt_wall(d: Duration) -> String {
     }
 }
 
-/// Whether `RTSIM_BENCH_SMOKE=1` asked for the fast path: tiny case
-/// counts so the integration suite can execute every harness binary.
-pub fn smoke() -> bool {
-    std::env::var("RTSIM_BENCH_SMOKE").as_deref() == Ok("1")
-}
-
-/// Picks `full` normally, `reduced` under [`smoke`] mode.
-pub fn scaled(full: usize, reduced: usize) -> usize {
-    if smoke() {
-        reduced
-    } else {
-        full
-    }
-}
+// The smoke/scaling and artifact-emission knobs moved down into
+// rtsim-campaign so the regression farm can share them; re-exported here
+// to keep the harness binaries' imports stable.
+pub use rtsim_campaign::{scaled, smoke, write_campaign_outputs};
 
 /// Prints the campaign engine's serial-vs-parallel wall-time line the
 /// rewired Monte-Carlo harnesses all share.
@@ -71,26 +61,6 @@ pub fn report_campaign<T>(cmp: &rtsim_campaign::Comparison<T>) {
         fmt_wall(cmp.parallel_wall),
         cmp.speedup(),
     );
-}
-
-/// Writes a campaign's JSONL and CSV artifacts into the directory named
-/// by `RTSIM_CAMPAIGN_OUT` (no-op when the variable is unset).
-pub fn write_campaign_outputs(name: &str, jsonl: &str, csv: &str) {
-    let Ok(dir) = std::env::var("RTSIM_CAMPAIGN_OUT") else {
-        return;
-    };
-    let dir = std::path::Path::new(&dir);
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("RTSIM_CAMPAIGN_OUT: cannot create {}: {e}", dir.display());
-        return;
-    }
-    for (ext, content) in [("jsonl", jsonl), ("csv", csv)] {
-        let path = dir.join(format!("{name}.{ext}"));
-        match std::fs::write(&path, content) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("RTSIM_CAMPAIGN_OUT: cannot write {}: {e}", path.display()),
-        }
-    }
 }
 
 #[cfg(test)]

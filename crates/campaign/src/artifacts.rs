@@ -1,0 +1,54 @@
+//! Environment-driven knobs shared by every campaign consumer: smoke
+//! scaling and artifact emission.
+//!
+//! The bench harness binaries, the regression farm, and the integration
+//! suites all obey the same two environment variables:
+//!
+//! - `RTSIM_BENCH_SMOKE=1` — run a drastically reduced workload so a test
+//!   suite can execute every binary in seconds ([`smoke`], [`scaled`]);
+//! - `RTSIM_CAMPAIGN_OUT=<dir>` — persist machine-readable JSONL/CSV
+//!   artifacts of a campaign ([`write_campaign_outputs`]).
+
+use std::fs;
+use std::path::Path;
+
+/// Whether `RTSIM_BENCH_SMOKE=1` asked for the fast path: tiny case
+/// counts so the integration suite can execute every harness binary.
+pub fn smoke() -> bool {
+    std::env::var("RTSIM_BENCH_SMOKE").as_deref() == Ok("1")
+}
+
+/// Picks `full` normally, `reduced` under [`smoke`] mode.
+pub fn scaled(full: usize, reduced: usize) -> usize {
+    if smoke() {
+        reduced
+    } else {
+        full
+    }
+}
+
+/// Writes a campaign's JSONL and CSV artifacts into the directory named
+/// by `RTSIM_CAMPAIGN_OUT` (no-op when the variable is unset).
+///
+/// Pass an empty string for an artifact you do not produce; empty
+/// contents are skipped rather than written as empty files.
+pub fn write_campaign_outputs(name: &str, jsonl: &str, csv: &str) {
+    let Ok(dir) = std::env::var("RTSIM_CAMPAIGN_OUT") else {
+        return;
+    };
+    let dir = Path::new(&dir);
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("RTSIM_CAMPAIGN_OUT: cannot create {}: {e}", dir.display());
+        return;
+    }
+    for (ext, content) in [("jsonl", jsonl), ("csv", csv)] {
+        if content.is_empty() {
+            continue;
+        }
+        let path = dir.join(format!("{name}.{ext}"));
+        match fs::write(&path, content) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("RTSIM_CAMPAIGN_OUT: cannot write {}: {e}", path.display()),
+        }
+    }
+}

@@ -46,11 +46,13 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod csv;
 pub mod json;
 mod pool;
 mod stats;
 
+pub use artifacts::{scaled, smoke, write_campaign_outputs};
 pub use pool::{
     workers_from_env, Campaign, Comparison, JobCtx, JobOutcome, JobPanic, Progress, Report,
 };

@@ -1,0 +1,180 @@
+//! The regression-farm driver.
+//!
+//! ```text
+//! rtsim-farm            run the matrix and print the fingerprint table
+//! rtsim-farm --check    compare against tests/goldens/farm.jsonl;
+//!                       exit 1 with a per-cell diff on drift
+//! rtsim-farm --bless    rerun the FULL matrix and rewrite the goldens
+//! rtsim-farm --list     list scenarios and policies without running
+//! ```
+//!
+//! `RTSIM_WORKERS` sets the pool width (results are identical for any
+//! value); `RTSIM_BENCH_SMOKE=1` shrinks the run and `--check` to the
+//! smoke subset of the matrix; `RTSIM_CAMPAIGN_OUT=<dir>` additionally
+//! writes the results as `farm.jsonl` / `farm.csv` artifacts;
+//! `RTSIM_FARM_GOLDENS` overrides the golden-file path.
+
+use std::process::ExitCode;
+
+use rtsim_campaign::csv::CsvTable;
+use rtsim_campaign::{smoke, workers_from_env, write_campaign_outputs};
+use rtsim_farm::registry::{full_matrix, run_matrix, smoke_matrix, CellResult, PolicyKind, SCENARIOS};
+use rtsim_farm::{diff, goldens_path, render};
+
+fn results_csv(results: &[CellResult]) -> String {
+    let mut table = CsvTable::new([
+        "scenario",
+        "policy",
+        "mode",
+        "hash",
+        "events",
+        "makespan_ps",
+        "dispatches",
+        "preemptions",
+        "deadline_misses",
+    ]);
+    for r in results {
+        let f = &r.fingerprint;
+        table.row([
+            r.cell.scenario.to_owned(),
+            r.cell.policy.key().to_owned(),
+            r.cell.mode().to_owned(),
+            f.hash_hex(),
+            f.events.to_string(),
+            f.makespan_ps.to_string(),
+            f.dispatches.to_string(),
+            f.preemptions.to_string(),
+            f.deadline_misses.to_string(),
+        ]);
+    }
+    table.to_string()
+}
+
+fn run(cells: Vec<rtsim_farm::Cell>) -> Vec<CellResult> {
+    let workers = workers_from_env();
+    println!(
+        "running {} cells on {workers} workers (registry: {} scenarios x {} policies x 2 modes)",
+        cells.len(),
+        SCENARIOS.len(),
+        PolicyKind::ALL.len(),
+    );
+    let results = run_matrix(&cells, workers);
+    write_campaign_outputs("farm", &render(&results), &results_csv(&results));
+    results
+}
+
+fn print_table(results: &[CellResult]) {
+    println!(
+        "{:<16} {:<15} {:<12} {:>16} {:>7} {:>13} {:>6} {:>7} {:>7}",
+        "scenario", "policy", "mode", "hash", "events", "makespan_us", "disp", "preempt", "misses"
+    );
+    for r in results {
+        let f = &r.fingerprint;
+        println!(
+            "{:<16} {:<15} {:<12} {:>16} {:>7} {:>13} {:>6} {:>7} {:>7}",
+            r.cell.scenario,
+            r.cell.policy.key(),
+            r.cell.mode(),
+            f.hash_hex(),
+            f.events,
+            f.makespan_ps / 1_000_000,
+            f.dispatches,
+            f.preemptions,
+            f.deadline_misses,
+        );
+    }
+}
+
+fn check() -> ExitCode {
+    let path = goldens_path();
+    let goldens = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "cannot read goldens {}: {e}\nrun `rtsim-farm --bless` to create them",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let smoke_run = smoke();
+    let cells = if smoke_run { smoke_matrix() } else { full_matrix() };
+    let results = run(cells);
+    let outcome = diff(&goldens, &results, !smoke_run);
+    if outcome.is_clean() {
+        println!(
+            "OK: {} cells match {}{}",
+            outcome.matched,
+            path.display(),
+            if smoke_run { " (smoke subset)" } else { "" },
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: {} cells drifted from {} ({} matched):",
+            outcome.messages.len(),
+            path.display(),
+            outcome.matched,
+        );
+        for msg in &outcome.messages {
+            eprintln!("  {msg}");
+        }
+        eprintln!("if the change is intentional, re-pin with `rtsim-farm --bless`");
+        ExitCode::FAILURE
+    }
+}
+
+fn bless() -> ExitCode {
+    // Blessing always covers the full matrix: a smoke-sized golden file
+    // would make every full --check fail as incomplete.
+    let results = run(full_matrix());
+    let path = goldens_path();
+    if let Some(parent) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    match std::fs::write(&path, render(&results)) {
+        Ok(()) => {
+            println!("blessed {} cells into {}", results.len(), path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() -> ExitCode {
+    println!("scenarios ({}):", SCENARIOS.len());
+    for s in SCENARIOS {
+        println!("  {:<16} horizon {}", s.name, s.horizon);
+    }
+    println!("policies ({}):", PolicyKind::ALL.len());
+    for p in PolicyKind::ALL {
+        println!("  {}", p.key());
+    }
+    println!("modes: preemptive, cooperative");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            let cells = if smoke() { smoke_matrix() } else { full_matrix() };
+            let results = run(cells);
+            print_table(&results);
+            ExitCode::SUCCESS
+        }
+        Some("--check") => check(),
+        Some("--bless") => bless(),
+        Some("--list") => list(),
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; usage: rtsim-farm [--check|--bless|--list]");
+            ExitCode::FAILURE
+        }
+    }
+}

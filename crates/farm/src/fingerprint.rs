@@ -1,0 +1,208 @@
+//! Reducing a finished simulation to a stable 64-bit fingerprint.
+//!
+//! The hash input is the canonical trace text ([`rtsim_trace::canonical`])
+//! followed by integer summary lines: per-task response-time min/mean/max
+//! (picoseconds), per-processor scheduler counters, and the makespan.
+//! Everything hashed is an integer rendered in decimal, so the
+//! fingerprint is immune to float-formatting differences and identical
+//! across platforms; any behavioural change — one event reordered, one
+//! preemption moved by a picosecond — changes it.
+
+use std::fmt::Write as _;
+
+use rtsim_mcse::ElaboratedSystem;
+use rtsim_trace::{canonical, ActorKind, Measure};
+
+/// The 64-bit FNV-1a hasher (offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`), hand-rolled because the workspace is hermetic.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_farm::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"");
+/// assert_eq!(h.finish(), 0xcbf29ce484222325); // empty input = offset basis
+/// let mut h = Fnv1a::new();
+/// h.write(b"a");
+/// assert_eq!(h.finish(), 0xaf63dc4c8601ec8c); // published FNV-1a test vector
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// The reduction of one finished run: a behaviour hash plus the integer
+/// summary metrics pinned alongside it in the goldens (so a drift report
+/// can say *what kind* of change happened, not just that one did).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// FNV-1a over the canonical trace and the summary lines below.
+    pub hash: u64,
+    /// Number of trace records.
+    pub events: u64,
+    /// Time of the last trace record in picoseconds (the instant all
+    /// activity ceased).
+    pub makespan_ps: u64,
+    /// Task dispatches summed over all software processors.
+    pub dispatches: u64,
+    /// Preemptions summed over all software processors.
+    pub preemptions: u64,
+    /// Deadline misses summed over all software processors.
+    pub deadline_misses: u64,
+}
+
+impl Fingerprint {
+    /// The hash as the 16-digit hex string used in golden files.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+/// Fingerprints a finished system: canonical trace + per-task response
+/// summaries + per-processor scheduler counters + makespan.
+///
+/// The system must already have been run; the fingerprint covers exactly
+/// what has been recorded so far.
+pub fn fingerprint(system: &ElaboratedSystem) -> Fingerprint {
+    let trace = system.trace();
+    let mut text = canonical(&trace);
+
+    // Per-task response-time summaries, in actor-index order. All values
+    // are integer picoseconds; the mean uses integer division so no float
+    // ever enters the hash input.
+    let measure = Measure::new(&trace);
+    for actor in trace.actors_of_kind(ActorKind::Task) {
+        let responses = measure.response_times(actor);
+        let (min, mean, max) = if responses.is_empty() {
+            (0, 0, 0)
+        } else {
+            let min = responses.iter().copied().min().unwrap().as_ps();
+            let max = responses.iter().copied().max().unwrap().as_ps();
+            let total: u128 = responses.iter().map(|d| u128::from(d.as_ps())).sum();
+            let mean = (total / responses.len() as u128) as u64;
+            (min, mean, max)
+        };
+        let _ = writeln!(
+            text,
+            "task {} jobs {} response {min} {mean} {max}",
+            actor.index(),
+            responses.len(),
+        );
+    }
+
+    // Per-processor scheduler counters. processor_names() iterates the
+    // declaration order of the model, which is itself deterministic.
+    let mut dispatches = 0;
+    let mut preemptions = 0;
+    let mut deadline_misses = 0;
+    let names: Vec<String> = system.processor_names().map(str::to_owned).collect();
+    for name in &names {
+        let stats = system.processor_stats(name).expect("declared processor");
+        let _ = writeln!(
+            text,
+            "proc {name} {} {} {} {} {}",
+            stats.dispatches,
+            stats.preemptions,
+            stats.scheduler_runs,
+            stats.quantum_expirations,
+            stats.deadline_misses,
+        );
+        dispatches += stats.dispatches;
+        preemptions += stats.preemptions;
+        deadline_misses += stats.deadline_misses;
+    }
+
+    // The time of the last recorded event, not `system.now()`: the farm
+    // drives runs through `run_until(horizon)`, which leaves the clock at
+    // the hang-guard horizon rather than at the instant activity ceased.
+    let makespan_ps = trace.horizon().as_ps();
+    let _ = writeln!(text, "makespan {makespan_ps}");
+
+    let mut hasher = Fnv1a::new();
+    hasher.write(text.as_bytes());
+    Fingerprint {
+        hash: hasher.finish(),
+        events: trace.records().len() as u64,
+        makespan_ps,
+        dispatches,
+        preemptions,
+        deadline_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::figure6_system;
+    use rtsim_core::EngineKind;
+
+    fn run_figure6() -> Fingerprint {
+        let mut system = figure6_system(EngineKind::ProcedureCall)
+            .elaborate()
+            .unwrap();
+        system.run().unwrap();
+        fingerprint(&system)
+    }
+
+    #[test]
+    fn fingerprint_is_reproducible() {
+        let a = run_figure6();
+        let b = run_figure6();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_reflects_known_figure6_facts() {
+        let f = run_figure6();
+        assert_eq!(f.makespan_ps, 775_000_000); // last record; run ends 780 us
+        assert_eq!(f.events, 73);
+        assert_eq!(f.dispatches, 9);
+        assert_eq!(f.preemptions, 2);
+        assert_eq!(f.deadline_misses, 0);
+    }
+
+    #[test]
+    fn different_engines_differ() {
+        let b = run_figure6();
+        let mut system = figure6_system(EngineKind::DedicatedThread)
+            .elaborate()
+            .unwrap();
+        system.run().unwrap();
+        let a = fingerprint(&system);
+        assert_ne!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn hash_hex_is_16_digits() {
+        assert_eq!(run_figure6().hash_hex().len(), 16);
+    }
+}

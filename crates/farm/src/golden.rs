@@ -1,0 +1,275 @@
+//! Golden-file rendering, parsing and diffing.
+//!
+//! Goldens are JSONL: one object per matrix cell with a fixed key order,
+//!
+//! ```text
+//! {"scenario":"paper_fig6","policy":"priority","mode":"preemptive",
+//!  "hash":"89a2…","events":73,"makespan_ps":780000000,"dispatches":9,
+//!  "preemptions":2,"deadline_misses":0}
+//! ```
+//!
+//! so the file diffs line-per-cell in version control. Because the
+//! writer is in-tree and deterministic, the checker never needs a JSON
+//! parser: cells are matched by their `"scenario"/"policy"/"mode"` keys
+//! and compared as whole lines, with per-field extraction only to phrase
+//! the drift message.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use rtsim_campaign::json::Json;
+
+use crate::registry::CellResult;
+
+/// Environment variable overriding the golden-file location (used by the
+/// tamper-detection tests; normal runs use the committed file).
+pub const GOLDENS_ENV: &str = "RTSIM_FARM_GOLDENS";
+
+/// Path of the committed golden file, honouring [`GOLDENS_ENV`].
+pub fn goldens_path() -> PathBuf {
+    if let Ok(path) = std::env::var(GOLDENS_ENV) {
+        return PathBuf::from(path);
+    }
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/goldens/farm.jsonl"
+    ))
+}
+
+/// Renders one cell result as its golden JSONL line (no trailing
+/// newline).
+pub fn render_line(result: &CellResult) -> String {
+    let f = &result.fingerprint;
+    Json::obj([
+        ("scenario", Json::from(result.cell.scenario)),
+        ("policy", Json::from(result.cell.policy.key())),
+        ("mode", Json::from(result.cell.mode())),
+        ("hash", Json::from(f.hash_hex())),
+        ("events", Json::from(f.events)),
+        ("makespan_ps", Json::from(f.makespan_ps)),
+        ("dispatches", Json::from(f.dispatches)),
+        ("preemptions", Json::from(f.preemptions)),
+        ("deadline_misses", Json::from(f.deadline_misses)),
+    ])
+    .to_string()
+}
+
+/// Renders a whole result set as golden-file contents (newline
+/// terminated).
+pub fn render(results: &[CellResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&render_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts the string value of `"key":"…"` from a golden line written
+/// by [`render_line`]. None of the values the farm writes contain
+/// escapes, so a plain scan suffices.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_owned())
+}
+
+/// Extracts the integer value of `"key":n`.
+fn int_field(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses the `(scenario, policy, mode)` identity of a golden line.
+/// Returns `None` on lines that are not well-formed cell records.
+pub fn parse_cell_key(line: &str) -> Option<(String, String, String)> {
+    Some((
+        string_field(line, "scenario")?,
+        string_field(line, "policy")?,
+        string_field(line, "mode")?,
+    ))
+}
+
+/// The outcome of comparing fresh results against the goldens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffOutcome {
+    /// One human-readable message per drifted / missing / stale cell,
+    /// each naming the `(scenario, policy, mode)` involved.
+    pub messages: Vec<String>,
+    /// Cells compared and found identical.
+    pub matched: usize,
+}
+
+impl DiffOutcome {
+    /// `true` when every compared cell matched.
+    pub fn is_clean(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+const FIELDS: [&str; 5] = [
+    "events",
+    "makespan_ps",
+    "dispatches",
+    "preemptions",
+    "deadline_misses",
+];
+
+fn describe_drift(cell: &str, expected: &str, actual: &str) -> String {
+    let mut changes = Vec::new();
+    match (
+        string_field(expected, "hash"),
+        string_field(actual, "hash"),
+    ) {
+        (Some(e), Some(a)) if e != a => changes.push(format!("hash {e} -> {a}")),
+        _ => {}
+    }
+    for field in FIELDS {
+        match (int_field(expected, field), int_field(actual, field)) {
+            (Some(e), Some(a)) if e != a => changes.push(format!("{field} {e} -> {a}")),
+            _ => {}
+        }
+    }
+    if changes.is_empty() {
+        // Same fields yet different bytes: formatting-level corruption.
+        format!("cell {cell}: golden line malformed or reordered")
+    } else {
+        format!("cell {cell}: {}", changes.join(", "))
+    }
+}
+
+/// Compares fresh `results` against golden-file `goldens` contents.
+///
+/// Every result must have a byte-identical golden line; with
+/// `require_complete` (a full-matrix check) every golden line must also
+/// correspond to a result, so stale cells are reported too. A smoke
+/// check passes `require_complete = false` because it only reruns a
+/// subset of the matrix.
+pub fn diff(goldens: &str, results: &[CellResult], require_complete: bool) -> DiffOutcome {
+    let mut expected: BTreeMap<(String, String, String), &str> = BTreeMap::new();
+    let mut messages = Vec::new();
+    for line in goldens.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_cell_key(line) {
+            Some(key) => {
+                if expected.insert(key.clone(), line).is_some() {
+                    messages.push(format!(
+                        "cell {}/{}/{}: duplicated in goldens",
+                        key.0, key.1, key.2
+                    ));
+                }
+            }
+            None => messages.push(format!("unparseable golden line: {line}")),
+        }
+    }
+
+    let mut matched = 0;
+    for result in results {
+        let cell = result.cell;
+        let key = (
+            cell.scenario.to_owned(),
+            cell.policy.key().to_owned(),
+            cell.mode().to_owned(),
+        );
+        let actual = render_line(result);
+        match expected.remove(&key) {
+            None => messages.push(format!(
+                "cell {}: missing from goldens (run `rtsim-farm --bless`)",
+                cell.label()
+            )),
+            Some(line) if line == actual => matched += 1,
+            Some(line) => messages.push(describe_drift(&cell.label(), line, &actual)),
+        }
+    }
+    if require_complete {
+        for (scenario, policy, mode) in expected.into_keys() {
+            messages.push(format!(
+                "cell {scenario}/{policy}/{mode}: in goldens but not produced by this matrix (stale?)"
+            ));
+        }
+    }
+    DiffOutcome { messages, matched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+    use crate::registry::{Cell, PolicyKind};
+
+    fn sample(policy: PolicyKind, hash: u64) -> CellResult {
+        CellResult {
+            cell: Cell {
+                scenario: "paper_fig6",
+                policy,
+                preemptive: true,
+            },
+            fingerprint: Fingerprint {
+                hash,
+                events: 73,
+                makespan_ps: 780_000_000,
+                dispatches: 9,
+                preemptions: 2,
+                deadline_misses: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let line = render_line(&sample(PolicyKind::Priority, 0xdead_beef));
+        assert_eq!(
+            parse_cell_key(&line),
+            Some((
+                "paper_fig6".to_owned(),
+                "priority".to_owned(),
+                "preemptive".to_owned()
+            ))
+        );
+        assert_eq!(string_field(&line, "hash").unwrap(), "00000000deadbeef");
+        assert_eq!(int_field(&line, "events"), Some(73));
+        assert_eq!(int_field(&line, "makespan_ps"), Some(780_000_000));
+    }
+
+    #[test]
+    fn identical_results_are_clean() {
+        let results = [sample(PolicyKind::Priority, 1), sample(PolicyKind::Fifo, 2)];
+        let goldens = render(&results);
+        let outcome = diff(&goldens, &results, true);
+        assert!(outcome.is_clean(), "{:?}", outcome.messages);
+        assert_eq!(outcome.matched, 2);
+    }
+
+    #[test]
+    fn drift_names_the_cell_and_field() {
+        let golden = render(&[sample(PolicyKind::Priority, 1)]);
+        let mut drifted = sample(PolicyKind::Priority, 99);
+        drifted.fingerprint.preemptions = 5;
+        let outcome = diff(&golden, &[drifted], true);
+        assert_eq!(outcome.messages.len(), 1);
+        let msg = &outcome.messages[0];
+        assert!(msg.contains("paper_fig6/priority/preemptive"), "{msg}");
+        assert!(msg.contains("hash"), "{msg}");
+        assert!(msg.contains("preemptions 2 -> 5"), "{msg}");
+    }
+
+    #[test]
+    fn missing_and_stale_cells_are_reported() {
+        let goldens = render(&[sample(PolicyKind::Priority, 1)]);
+        let outcome = diff(&goldens, &[sample(PolicyKind::Edf, 3)], true);
+        let text = outcome.messages.join("\n");
+        assert!(text.contains("paper_fig6/edf/preemptive: missing"), "{text}");
+        assert!(text.contains("paper_fig6/priority/preemptive: in goldens"), "{text}");
+        // A subset check ignores the untouched golden cells.
+        let subset = diff(&goldens, &[sample(PolicyKind::Priority, 1)], false);
+        assert!(subset.is_clean(), "{:?}", subset.messages);
+    }
+}

@@ -1,0 +1,344 @@
+//! The sweep matrix: every scenario × every policy × both modes, run on
+//! the deterministic campaign pool.
+
+use rtsim_comm::LockMode;
+use rtsim_core::policy::{PolicyView, TaskView};
+use rtsim_core::{policies, EngineKind, SchedulingPolicy};
+use rtsim_kernel::{SimDuration, SimTime};
+use rtsim_mcse::SystemModel;
+
+use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::scenarios::{
+    automotive_system, contended_system, figure6_system, figure7_system, mpeg2_system,
+    policy_sweep_system, quickstart_system, AutomotiveConfig, Mpeg2Config,
+};
+
+/// Every scheduling behaviour the farm sweeps. One entry per built-in
+/// policy plus a closure policy ([`policies::from_fn`]), so the
+/// genericity hook itself is under regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`policies::Fifo`] — run-to-relinquish arrival order.
+    Fifo,
+    /// [`policies::PriorityPreemptive`] — the paper's default RTOS.
+    Priority,
+    /// [`policies::EarliestDeadlineFirst`].
+    Edf,
+    /// [`policies::RateMonotonic`] — shortest declared period wins.
+    RateMonotonic,
+    /// [`policies::RoundRobin`] with a 200 µs quantum.
+    RoundRobin,
+    /// [`policies::PriorityRoundRobin`] with a 200 µs quantum.
+    PriorityRr,
+    /// A closure policy built with [`policies::from_fn`]: lowest enqueue
+    /// sequence first, priority preemption.
+    FnPolicy,
+}
+
+impl PolicyKind {
+    /// All seven behaviours, in golden-file order.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Fifo,
+        PolicyKind::Priority,
+        PolicyKind::Edf,
+        PolicyKind::RateMonotonic,
+        PolicyKind::RoundRobin,
+        PolicyKind::PriorityRr,
+        PolicyKind::FnPolicy,
+    ];
+
+    /// The stable key used in golden files and diffs.
+    pub fn key(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Priority => "priority",
+            PolicyKind::Edf => "edf",
+            PolicyKind::RateMonotonic => "rate_monotonic",
+            PolicyKind::RoundRobin => "round_robin",
+            PolicyKind::PriorityRr => "priority_rr",
+            PolicyKind::FnPolicy => "fn_policy",
+        }
+    }
+
+    /// Looks a kind up by its golden-file key.
+    pub fn from_key(key: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|k| k.key() == key)
+    }
+
+    /// Instantiates the policy.
+    pub fn make(self) -> Box<dyn SchedulingPolicy> {
+        let quantum = SimDuration::from_us(200);
+        match self {
+            PolicyKind::Fifo => Box::new(policies::Fifo::new()),
+            PolicyKind::Priority => Box::new(policies::PriorityPreemptive::new()),
+            PolicyKind::Edf => Box::new(policies::EarliestDeadlineFirst::new()),
+            PolicyKind::RateMonotonic => Box::new(policies::RateMonotonic::new()),
+            PolicyKind::RoundRobin => Box::new(policies::RoundRobin::new(quantum)),
+            PolicyKind::PriorityRr => Box::new(policies::PriorityRoundRobin::new(quantum)),
+            PolicyKind::FnPolicy => Box::new(policies::from_fn(
+                "fn-lowest-seq",
+                |view: &PolicyView<'_>| {
+                    view.ready.iter().min_by_key(|t| t.enqueue_seq).map(|t| t.id)
+                },
+                |_view: &PolicyView<'_>, candidate: &TaskView, running: &TaskView| {
+                    candidate.priority > running.priority
+                },
+            )),
+        }
+    }
+}
+
+/// One registered scenario: a name, a builder, and a hang-guard horizon
+/// the farm never simulates past.
+///
+/// Every scenario terminates on its own under every policy (all loops
+/// are bounded, and a blocked system empties the event queue and stops);
+/// the horizon only bounds the damage if a future regression introduces
+/// a live-lock.
+pub struct Scenario {
+    /// Golden-file key.
+    pub name: &'static str,
+    /// Builds the un-elaborated model.
+    pub build: fn() -> SystemModel,
+    /// Hang guard passed to `run_until`.
+    pub horizon: SimDuration,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("horizon", &self.horizon)
+            .finish()
+    }
+}
+
+/// The registry: every example system as a farm scenario.
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "quickstart",
+        build: quickstart_system,
+        horizon: SimDuration::from_ms(100),
+    },
+    Scenario {
+        name: "paper_fig6",
+        build: || figure6_system(EngineKind::ProcedureCall),
+        horizon: SimDuration::from_ms(100),
+    },
+    Scenario {
+        name: "paper_fig7",
+        build: || figure7_system(EngineKind::ProcedureCall, LockMode::Plain),
+        horizon: SimDuration::from_ms(100),
+    },
+    Scenario {
+        name: "automotive_ecu",
+        build: || automotive_system(&AutomotiveConfig::default()),
+        horizon: SimDuration::from_ms(2_000),
+    },
+    Scenario {
+        name: "mpeg2_soc",
+        build: || {
+            mpeg2_system(&Mpeg2Config {
+                frames: 6,
+                ..Mpeg2Config::default()
+            })
+        },
+        horizon: SimDuration::from_ms(2_000),
+    },
+    Scenario {
+        name: "design_space",
+        build: policy_sweep_system,
+        horizon: SimDuration::from_ms(2_000),
+    },
+    Scenario {
+        name: "custom_policy",
+        build: contended_system,
+        horizon: SimDuration::from_ms(500),
+    },
+];
+
+/// Looks a scenario up by name.
+pub fn scenario_by_name(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// One point of the sweep: a scenario under one scheduling behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Scenario key (see [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Preemptive (`true`) or run-to-relinquish mode.
+    pub preemptive: bool,
+}
+
+impl Cell {
+    /// The mode key used in golden files: `preemptive` / `cooperative`.
+    pub fn mode(&self) -> &'static str {
+        if self.preemptive {
+            "preemptive"
+        } else {
+            "cooperative"
+        }
+    }
+
+    /// Human-readable cell label, e.g. `paper_fig6/edf/preemptive`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.scenario, self.policy.key(), self.mode())
+    }
+}
+
+/// A fingerprinted cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellResult {
+    /// Which point of the matrix.
+    pub cell: Cell,
+    /// What its run reduced to.
+    pub fingerprint: Fingerprint,
+}
+
+/// The full matrix: every scenario × every policy × both modes.
+pub fn full_matrix() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for scenario in SCENARIOS {
+        for policy in PolicyKind::ALL {
+            for preemptive in [true, false] {
+                cells.push(Cell {
+                    scenario: scenario.name,
+                    policy,
+                    preemptive,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The reduced matrix used under `RTSIM_BENCH_SMOKE=1`: the three
+/// fastest scenarios × three representative policies × both modes
+/// (18 cells), so test suites can exercise the whole pipeline in
+/// seconds.
+pub fn smoke_matrix() -> Vec<Cell> {
+    let scenarios = ["quickstart", "paper_fig6", "design_space"];
+    let policies = [PolicyKind::Priority, PolicyKind::Fifo, PolicyKind::Edf];
+    let mut cells = Vec::new();
+    for scenario in scenarios {
+        for policy in policies {
+            for preemptive in [true, false] {
+                cells.push(Cell {
+                    scenario,
+                    policy,
+                    preemptive,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Runs one cell to its fingerprint: build the scenario, re-point every
+/// software processor at the cell's policy and mode, elaborate, run to
+/// completion (bounded by the scenario's hang-guard horizon), reduce.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name or a model/kernel error — inside a
+/// campaign the panic is caught and reported as that cell's failure.
+pub fn run_cell(cell: Cell) -> CellResult {
+    let scenario = scenario_by_name(cell.scenario)
+        .unwrap_or_else(|| panic!("unknown scenario `{}`", cell.scenario));
+    let mut model = (scenario.build)();
+    model.override_schedulers(cell.preemptive, |_| cell.policy.make());
+    let mut system = model.elaborate().expect("scenario elaborates");
+    system
+        .run_until(SimTime::ZERO + scenario.horizon)
+        .expect("scenario runs");
+    CellResult {
+        cell,
+        fingerprint: fingerprint(&system),
+    }
+}
+
+/// Runs a set of cells on the deterministic campaign pool with `workers`
+/// workers. Results come back in cell order and are bit-identical for
+/// any worker count.
+///
+/// # Panics
+///
+/// Panics if any cell panicked, naming the cell.
+pub fn run_matrix(cells: &[Cell], workers: usize) -> Vec<CellResult> {
+    let report = rtsim_campaign::Campaign::new("farm", 0)
+        .workers(workers)
+        .run(cells.len(), |ctx| run_cell(cells[ctx.index()]));
+    match report.into_values() {
+        Ok(results) => results,
+        Err((index, panic)) => panic!("farm cell {} failed: {panic}", cells[index].label()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shapes() {
+        assert_eq!(full_matrix().len(), SCENARIOS.len() * 7 * 2);
+        assert_eq!(smoke_matrix().len(), 18);
+        // The smoke matrix is a subset of the full one.
+        let full = full_matrix();
+        for cell in smoke_matrix() {
+            assert!(full.contains(&cell), "{}", cell.label());
+        }
+    }
+
+    #[test]
+    fn policy_keys_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_key(kind.key()), Some(kind));
+        }
+        assert_eq!(PolicyKind::from_key("nope"), None);
+    }
+
+    #[test]
+    fn one_cell_runs_and_policy_changes_the_fingerprint() {
+        let base = Cell {
+            scenario: "paper_fig6",
+            policy: PolicyKind::Priority,
+            preemptive: true,
+        };
+        let priority = run_cell(base);
+        let fifo = run_cell(Cell {
+            policy: PolicyKind::Fifo,
+            ..base
+        });
+        assert_ne!(priority.fingerprint.hash, fifo.fingerprint.hash);
+        // Figure 6 under its native policy: known pinned facts hold.
+        assert_eq!(priority.fingerprint.makespan_ps, 775_000_000);
+        assert_eq!(priority.fingerprint.preemptions, 2);
+    }
+
+    #[test]
+    fn workers_do_not_change_results() {
+        let cells = vec![
+            Cell {
+                scenario: "quickstart",
+                policy: PolicyKind::Priority,
+                preemptive: true,
+            },
+            Cell {
+                scenario: "paper_fig6",
+                policy: PolicyKind::Edf,
+                preemptive: false,
+            },
+            Cell {
+                scenario: "design_space",
+                policy: PolicyKind::RoundRobin,
+                preemptive: true,
+            },
+        ];
+        let serial = run_matrix(&cells, 1);
+        let parallel = run_matrix(&cells, 4);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -11,13 +11,26 @@
 //!   §4 approach-A versus approach-B simulation-speed comparison;
 //! - [`mpeg2_system`] — the MPEG-2 compress/decompress SoC case study:
 //!   18 functions over 6 processing resources, 3 of them software
-//!   processors running the RTOS model.
+//!   processors running the RTOS model;
+//! - [`quickstart_system`] — the quickstart example's interrupt-plus-
+//!   background system;
+//! - [`policy_sweep_system`] — the `design_space` example's four-periodic-
+//!   task policy-comparison workload;
+//! - [`contended_system`] — the `custom_policy` example's contended
+//!   reference workload;
+//! - [`automotive_system`] — the two-ECU engine-control extension.
+//!
+//! Every builder returns an un-elaborated [`SystemModel`], so callers can
+//! still add constraints or re-point the schedulers (see
+//! [`SystemModel::override_schedulers`]) before elaboration — that hook
+//! is how the regression farm sweeps one scenario across the whole
+//! policy matrix.
 
 use rtsim_comm::{EventPolicy, LockMode};
 use rtsim_core::policies::PriorityPreemptive;
 use rtsim_core::{EngineKind, Overheads, TaskConfig};
 use rtsim_kernel::SimDuration;
-use rtsim_mcse::{Mapping, Message, SystemModel};
+use rtsim_mcse::{Mapping, Message, SystemModel, TimingConstraint};
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -153,6 +166,107 @@ pub fn ab_stress_system(engine: EngineKind, tasks: usize, rounds: u64) -> System
         );
         model.map_to_processor(&name, "CPU");
     }
+    model
+}
+
+/// Builds the quickstart system on the model layer: a background task, a
+/// high-priority interrupt handler, and a periodic hardware timer raising
+/// the interrupt, on one 5 µs-overhead RTOS processor.
+///
+/// The handler (priority 9) services 4 timer pulses of 20 µs each; the
+/// background task (priority 1) owns the remaining 600 µs of compute and
+/// is preempted by every pulse.
+pub fn quickstart_system() -> SystemModel {
+    let mut model = SystemModel::new("quickstart");
+    model.event("Irq", EventPolicy::Counter);
+    model.software_processor("CPU0", Overheads::uniform(us(5)));
+    model.function(TaskConfig::new("timer"), |agent, io| {
+        let irq = io.event("Irq");
+        for _ in 0..4 {
+            agent.delay(us(150));
+            irq.signal(agent);
+        }
+    });
+    model.function(TaskConfig::new("irq_handler").priority(9), |agent, io| {
+        let irq = io.event("Irq");
+        for _ in 0..4 {
+            irq.wait(agent);
+            agent.execute(us(20));
+        }
+    });
+    model.function(TaskConfig::new("background").priority(1), |agent, _io| {
+        agent.execute(us(600));
+    });
+    model.map("timer", Mapping::Hardware);
+    model.map_to_processor("irq_handler", "CPU0");
+    model.map_to_processor("background", "CPU0");
+    model
+}
+
+/// Builds the `design_space` example's policy-comparison workload: four
+/// periodic tasks with mixed urgency sharing one 5 µs-overhead CPU, rate-
+/// monotonic-friendly priorities (shortest period highest), implicit
+/// deadlines, 16 activations each.
+///
+/// The `task0-deadline` timing constraint pins the most urgent task's
+/// period as its completion bound, so
+/// [`verify_constraints`](rtsim_mcse::ElaboratedSystem::verify_constraints)
+/// reports its worst response directly.
+pub fn policy_sweep_system() -> SystemModel {
+    let mut model = SystemModel::new("policy_sweep");
+    model.software_processor("CPU", Overheads::uniform(us(5)));
+    for (i, (period_us, cost_us)) in [(1_000u64, 200u64), (2_000, 500), (4_000, 900), (8_000, 1_500)]
+        .iter()
+        .enumerate()
+    {
+        let name = format!("task{i}");
+        let cfg = TaskConfig::new(&name)
+            .priority(4 - i as u32)
+            .deadline(us(*period_us));
+        model.periodic_function(cfg, us(*period_us), us(*cost_us), 16);
+        model.map_to_processor(&name, "CPU");
+    }
+    model.constraint(TimingConstraint::CompletionWithin {
+        name: "task0-deadline".into(),
+        function: "task0".into(),
+        bound: us(1_000),
+    });
+    model
+}
+
+/// Builds the `custom_policy` example's contended reference workload: an
+/// urgent 400 µs-periodic task (priority 9, 300 µs deadline), two mid
+/// 800 µs-periodic loads (priority 5), and a 2 ms background task that
+/// starves under pure priority scheduling — on one 2 µs-overhead CPU.
+///
+/// How much the urgent task's response and the background task's start
+/// latency move is the one-screen summary of what the scheduling decision
+/// costs; sweep it with
+/// [`override_schedulers`](SystemModel::override_schedulers).
+pub fn contended_system() -> SystemModel {
+    let mut model = SystemModel::new("contended");
+    model.software_processor("CPU", Overheads::uniform(us(2)));
+    model.periodic_function(
+        TaskConfig::new("urgent").priority(9).deadline(us(300)),
+        us(400),
+        us(100),
+        20,
+    );
+    model.map_to_processor("urgent", "CPU");
+    for i in 0..2u32 {
+        let name = format!("mid{i}");
+        model.periodic_function(
+            TaskConfig::new(&name).priority(5).deadline(us(2_000)),
+            us(800),
+            us(250),
+            10,
+        );
+        model.map_to_processor(&name, "CPU");
+    }
+    model.function(TaskConfig::new("bg").priority(1), |agent, _io| {
+        agent.execute(us(2_000));
+    });
+    model.map_to_processor("bg", "CPU");
     model
 }
 
@@ -770,5 +884,34 @@ mod tests {
         let b = end(EngineKind::ProcedureCall).as_ps() as f64;
         let a = end(EngineKind::DedicatedThread).as_ps() as f64;
         assert!((a - b).abs() / b < 0.05, "a={a} b={b}");
+    }
+
+    #[test]
+    fn quickstart_background_finishes_after_all_interrupts() {
+        let mut system = quickstart_system().elaborate().unwrap();
+        system.run().unwrap();
+        // 600 us of background + 4x20 us of handler + overheads: the run
+        // must end after the last timer pulse at 600 us.
+        assert!(system.now() > SimTime::ZERO + us(600));
+        let stats = system.processor_stats("CPU0").unwrap();
+        assert!(stats.preemptions >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn policy_sweep_meets_task0_deadline_under_default_rtos() {
+        let mut system = policy_sweep_system().elaborate().unwrap();
+        system.run().unwrap();
+        let report = system.verify_constraints();
+        assert!(report.all_satisfied(), "{report}");
+    }
+
+    #[test]
+    fn contended_runs_all_jobs() {
+        let mut system = contended_system().elaborate().unwrap();
+        system.run().unwrap();
+        let trace = system.trace();
+        let m = rtsim_trace::Measure::new(&trace);
+        let urgent = trace.actor_by_name("urgent").unwrap();
+        assert_eq!(m.response_times(urgent).len(), 20);
     }
 }

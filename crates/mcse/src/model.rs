@@ -227,6 +227,27 @@ impl SystemModel {
         self
     }
 
+    /// Replaces the scheduling policy and preemptive/non-preemptive mode
+    /// of *every* declared software processor, keeping overheads and
+    /// implementation strategy.
+    ///
+    /// This is the design-space knob the regression farm and the policy
+    /// sweeps turn: a scenario builder declares its baseline RTOS (the
+    /// paper's priority-based preemptive default) and a sweep rebuilds
+    /// the same system under each (policy, mode) point without touching
+    /// the functional model. `make` is called once per processor, in
+    /// name order, with the processor's name.
+    pub fn override_schedulers<F>(&mut self, preemptive: bool, make: F) -> &mut Self
+    where
+        F: Fn(&str) -> Box<dyn SchedulingPolicy>,
+    {
+        for (name, decl) in self.processors.iter_mut() {
+            decl.policy = make(name);
+            decl.preemptive = preemptive;
+        }
+        self
+    }
+
     /// Declares an event relation.
     ///
     /// # Panics

@@ -1,0 +1,176 @@
+//! Canonical event serialization: a stable, line-oriented text form of a
+//! [`Trace`], made for hashing and byte-comparison rather than for
+//! humans.
+//!
+//! The regression farm reduces every simulation to a fingerprint over
+//! this stream; two runs produce the same canonical text if and only if
+//! they recorded the same events in the same order with the same
+//! timestamps. The format is therefore deliberately exhaustive and
+//! deliberately frozen:
+//!
+//! ```text
+//! actor <index> <kind> <escaped-name>
+//! ...
+//! <at_ps> <seq> <actor-index> S <state>
+//! <at_ps> <seq> <actor-index> O <overhead-kind> <duration_ps>
+//! <at_ps> <seq> <actor-index> C <relation-index> <comm-kind>
+//! <at_ps> <seq> <actor-index> Q <depth>/<capacity>
+//! <at_ps> <seq> <actor-index> R acquired|released
+//! <at_ps> <seq> <actor-index> A <escaped-label>
+//! ```
+//!
+//! Times are picoseconds since time zero; names and annotation labels
+//! are escaped (`\\`, `\n`, `\s` for backslash, newline, space) so every
+//! record stays exactly one line with space-separated fields. **Changing
+//! this format invalidates every pinned fingerprint** — treat it like a
+//! wire format, not an implementation detail.
+
+use std::fmt::{self, Write as _};
+
+use crate::record::TraceData;
+use crate::recorder::Trace;
+
+/// Escapes a name or label so it is one whitespace-free token.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            ' ' => out.push_str("\\s"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders the canonical form of `trace` into a string.
+///
+/// The output covers the full actor table and every record (states,
+/// overheads, communication accesses, queue depths, resource holds,
+/// annotations), so any behavioural difference between two runs —
+/// dispatch order, preemption instants, overhead placement — shows up as
+/// a byte difference.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_kernel::SimTime;
+/// use rtsim_trace::{canonical, ActorKind, TaskState, TraceRecorder};
+///
+/// let rec = TraceRecorder::new();
+/// let t = rec.register("Function_1", ActorKind::Task);
+/// rec.state(t, SimTime::from_ps(42), TaskState::Running);
+/// let text = canonical(&rec.snapshot());
+/// assert_eq!(text, "actor 0 task Function_1\n42 0 0 S running\n");
+/// ```
+pub fn canonical(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (index, info) in trace.actors().iter().enumerate() {
+        let _ = write!(out, "actor {index} {} ", info.kind);
+        escape_into(&mut out, &info.name);
+        out.push('\n');
+    }
+    for r in trace.records() {
+        let _ = write!(out, "{} {} {} ", r.at.as_ps(), r.seq, r.actor.index());
+        match &r.data {
+            TraceData::State(s) => {
+                let _ = write!(out, "S {s}");
+            }
+            TraceData::Overhead { kind, duration } => {
+                let _ = write!(out, "O {kind} {}", duration.as_ps());
+            }
+            TraceData::Comm { relation, kind } => {
+                let _ = write!(out, "C {} {kind}", relation.index());
+            }
+            TraceData::QueueDepth { depth, capacity } => {
+                let _ = write!(out, "Q {depth}/{capacity}");
+            }
+            TraceData::ResourceHeld(held) => {
+                let _ = write!(out, "R {}", if *held { "acquired" } else { "released" });
+            }
+            TraceData::Annotation(label) => {
+                out.push_str("A ");
+                escape_into(&mut out, label);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Streams the canonical form of `trace` to a [`fmt::Write`] sink.
+///
+/// # Errors
+///
+/// Propagates the sink's formatting errors.
+pub fn write_canonical<W: fmt::Write>(trace: &Trace, out: &mut W) -> fmt::Result {
+    out.write_str(&canonical(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ActorKind, CommKind, OverheadKind, TaskState};
+    use crate::recorder::TraceRecorder;
+    use rtsim_kernel::{SimDuration, SimTime};
+
+    #[test]
+    fn every_record_kind_renders_one_line() {
+        let rec = TraceRecorder::new();
+        let t = rec.register("T one", ActorKind::Task);
+        let q = rec.register("Q", ActorKind::Relation);
+        rec.state(t, SimTime::from_ps(1), TaskState::Ready);
+        rec.overhead(t, SimTime::from_ps(2), OverheadKind::Scheduling, SimDuration::from_ps(5));
+        rec.comm(t, SimTime::from_ps(3), q, CommKind::Write);
+        rec.queue_depth(q, SimTime::from_ps(3), 1, 4);
+        rec.resource_held(q, SimTime::from_ps(4), true);
+        rec.annotate(t, SimTime::from_ps(5), "mark here");
+        let text = canonical(&rec.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "actor 0 task T\\sone",
+                "actor 1 relation Q",
+                "1 0 0 S ready",
+                "2 1 0 O scheduling 5",
+                "3 2 0 C 1 write",
+                "3 3 1 Q 1/4",
+                "4 4 1 R acquired",
+                "5 5 0 A mark\\shere",
+            ]
+        );
+    }
+
+    #[test]
+    fn escaping_keeps_one_record_per_line() {
+        let rec = TraceRecorder::new();
+        let t = rec.register("a\nb\\c", ActorKind::Task);
+        rec.annotate(t, SimTime::ZERO, "x y");
+        let text = canonical(&rec.snapshot());
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("actor 0 task a\\nb\\\\c\n"));
+    }
+
+    #[test]
+    fn identical_runs_are_byte_identical() {
+        let build = || {
+            let rec = TraceRecorder::new();
+            let t = rec.register("T", ActorKind::Task);
+            rec.state(t, SimTime::from_ps(10), TaskState::Running);
+            rec.state(t, SimTime::from_ps(20), TaskState::Waiting);
+            canonical(&rec.snapshot())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn write_canonical_matches_canonical() {
+        let rec = TraceRecorder::new();
+        let t = rec.register("T", ActorKind::Task);
+        rec.state(t, SimTime::ZERO, TaskState::Running);
+        let trace = rec.snapshot();
+        let mut sink = String::new();
+        write_canonical(&trace, &mut sink).unwrap();
+        assert_eq!(sink, canonical(&trace));
+    }
+}

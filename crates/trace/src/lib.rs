@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod canon;
 pub mod csv;
 pub mod measure;
 pub mod record;
@@ -40,6 +41,7 @@ pub mod stats;
 pub mod timeline;
 pub mod vcd;
 
+pub use canon::{canonical, write_canonical};
 pub use csv::write_csv;
 pub use vcd::write_vcd;
 pub use measure::{Job, Measure};

@@ -1,20 +1,18 @@
 //! The genericity tour: the paper's claim that "designers can also
 //! define their own policies by overloading the SchedulingPolicy method".
 //!
-//! Runs one contended workload under (1) a hand-written `SchedulingPolicy`
-//! implementation, (2) an ad-hoc closure policy, (3) every built-in
-//! policy, and (4) the clock-driven baseline, printing the worst response
-//! of the most urgent task under each — the one-screen summary of what
-//! the scheduling decision costs.
+//! Runs one contended workload (`rtsim::scenarios::contended_system`)
+//! under (1) a hand-written `SchedulingPolicy` implementation, (2) an
+//! ad-hoc closure policy, and (3) every built-in policy, printing the
+//! worst response of the most urgent task under each — the one-screen
+//! summary of what the scheduling decision costs.
 //!
 //! Run with: `cargo run --release --example custom_policy`
 
 use rtsim::core::policy::{PolicyView, SchedulingPolicy, TaskView};
 use rtsim::policies::{self, EarliestDeadlineFirst, Fifo, PriorityPreemptive, RoundRobin};
-use rtsim::{
-    Measure, Overheads, Processor, ProcessorConfig, SimDuration, Simulator, TaskConfig, TaskId,
-    TraceRecorder,
-};
+use rtsim::scenarios::contended_system;
+use rtsim::{Measure, SimDuration, TaskId};
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -61,46 +59,14 @@ impl SchedulingPolicy for AgingPriority {
     }
 }
 
-/// Runs the reference workload and returns (urgent worst response µs,
-/// starved task's worst wait µs).
-fn run(config: ProcessorConfig) -> (u64, u64) {
-    let mut sim = Simulator::new();
-    let rec = TraceRecorder::new();
-    let cpu = Processor::new(&mut sim, &rec, config);
-    // An urgent periodic task...
-    cpu.spawn_task(&mut sim, TaskConfig::new("urgent").priority(9).deadline(us(300)), |t| {
-        for k in 1..=20u64 {
-            t.execute(us(100));
-            let next = rtsim::SimTime::ZERO + us(400) * k;
-            let now = t.now();
-            if next > now {
-                t.delay(next - now);
-            }
-        }
-    });
-    // ...competing with two mid loads and one background task that can
-    // starve under pure priority scheduling.
-    for i in 0..2u32 {
-        cpu.spawn_task(
-            &mut sim,
-            TaskConfig::new(&format!("mid{i}")).priority(5).deadline(us(2_000)),
-            move |t| {
-                for k in 1..=10u64 {
-                    t.execute(us(250));
-                    let next = rtsim::SimTime::ZERO + us(800) * k;
-                    let now = t.now();
-                    if next > now {
-                        t.delay(next - now);
-                    }
-                }
-            },
-        );
-    }
-    cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
-        t.execute(us(2_000));
-    });
-    sim.run().unwrap();
-    let trace = rec.snapshot();
+/// Runs the shared contended workload under one policy and returns
+/// (urgent worst response µs, starved task's worst start latency µs).
+fn run(make: &dyn Fn() -> Box<dyn SchedulingPolicy>) -> (u64, u64) {
+    let mut model = contended_system();
+    model.override_schedulers(true, |_| make());
+    let mut system = model.elaborate().expect("valid model");
+    system.run().expect("run");
+    let trace = system.trace();
     let m = Measure::new(&trace);
     let urgent = trace.actor_by_name("urgent").unwrap();
     let worst_urgent = m
@@ -118,46 +84,47 @@ fn run(config: ProcessorConfig) -> (u64, u64) {
 }
 
 fn main() {
-    let base = || ProcessorConfig::new("CPU").overheads(Overheads::uniform(us(2)));
-
-    println!("== one workload, eight scheduling behaviours ==\n");
+    println!("== one workload, seven scheduling behaviours ==\n");
     println!(
         "{:<26} {:>20} {:>18}",
         "policy", "urgent worst resp", "bg start latency"
     );
-    let rows: Vec<(&str, ProcessorConfig)> = vec![
-        ("priority-preemptive", base().policy(PriorityPreemptive::new())),
-        ("aging-priority (custom)", base().policy(AgingPriority)),
+    type Factory = Box<dyn Fn() -> Box<dyn SchedulingPolicy>>;
+    let rows: Vec<(&str, Factory)> = vec![
+        (
+            "priority-preemptive",
+            Box::new(|| Box::new(PriorityPreemptive::new())),
+        ),
+        ("aging-priority (custom)", Box::new(|| Box::new(AgingPriority))),
         (
             "lowest-seq closure",
-            base().policy(policies::from_fn(
-                "lowest-seq",
-                |view: &PolicyView<'_>| {
-                    view.ready.iter().min_by_key(|t| t.enqueue_seq).map(|t| t.id)
-                },
-                |_v, c: &TaskView, r: &TaskView| c.priority > r.priority,
-            )),
+            Box::new(|| {
+                Box::new(policies::from_fn(
+                    "lowest-seq",
+                    |view: &PolicyView<'_>| {
+                        view.ready.iter().min_by_key(|t| t.enqueue_seq).map(|t| t.id)
+                    },
+                    |_v, c: &TaskView, r: &TaskView| c.priority > r.priority,
+                ))
+            }),
         ),
-        ("fifo", base().policy(Fifo::new())),
-        ("round-robin 100us", base().policy(RoundRobin::new(us(100)))),
+        ("fifo", Box::new(|| Box::new(Fifo::new()))),
+        (
+            "round-robin 100us",
+            Box::new(|| Box::new(RoundRobin::new(us(100)))),
+        ),
         (
             "sched-rr 100us",
-            base().policy(policies::PriorityRoundRobin::new(us(100))),
+            Box::new(|| Box::new(policies::PriorityRoundRobin::new(us(100)))),
         ),
-        ("edf", base().policy(EarliestDeadlineFirst::new())),
-        (
-            "priority + 100us clock",
-            base()
-                .policy(PriorityPreemptive::new())
-                .quantized_preemption(us(100)),
-        ),
+        ("edf", Box::new(|| Box::new(EarliestDeadlineFirst::new()))),
     ];
-    for (label, config) in rows {
-        let (urgent, bg) = run(config);
+    for (label, make) in &rows {
+        let (urgent, bg) = run(make);
         println!("{:<26} {:>18}us {:>16}us", label, urgent, bg);
     }
     println!("\n(the custom aging policy trades a little urgent-task response for");
-    println!("bounded background starvation; the clock-driven last row shows the");
-    println!("reaction penalty of quantized preemption — every behaviour expressed");
-    println!("through the same SchedulingPolicy hook the paper describes)");
+    println!("bounded background starvation — every behaviour expressed through");
+    println!("the same SchedulingPolicy hook the paper describes, swept over one");
+    println!("shared scenario with SystemModel::override_schedulers)");
 }

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example design_space`
 
 use rtsim::policies::{EarliestDeadlineFirst, Fifo, PriorityPreemptive, RoundRobin};
-use rtsim::scenarios::{mpeg2_latencies, mpeg2_system, Mpeg2Config};
+use rtsim::scenarios::{mpeg2_latencies, mpeg2_system, policy_sweep_system, Mpeg2Config};
 use rtsim::{EngineKind, Overheads, SchedulingPolicy, SimDuration};
 
 /// Runs the full MPEG-2 SoC with uniform RTOS overheads of `overhead_us`
@@ -75,35 +75,11 @@ fn main() {
         ("edf", Box::new(|| Box::new(EarliestDeadlineFirst::new()))),
     ];
     for (name, make) in &policies {
-        let mut model = rtsim::SystemModel::new("policy_sweep");
-        model.software_processor_with(
-            "CPU",
-            make(),
-            Overheads::uniform(SimDuration::from_us(5)),
-            true,
-            EngineKind::ProcedureCall,
-        );
-        for (i, (period_us, cost_us)) in
-            [(1_000u64, 200u64), (2_000, 500), (4_000, 900), (8_000, 1_500)]
-                .iter()
-                .enumerate()
-        {
-            let cfg = rtsim::TaskConfig::new(&format!("task{i}"))
-                .priority(4 - i as u32)
-                .deadline(SimDuration::from_us(*period_us));
-            model.periodic_function(
-                cfg,
-                SimDuration::from_us(*period_us),
-                SimDuration::from_us(*cost_us),
-                16,
-            );
-            model.map_to_processor(&format!("task{i}"), "CPU");
-        }
-        model.constraint(rtsim::TimingConstraint::CompletionWithin {
-            name: "task0-deadline".into(),
-            function: "task0".into(),
-            bound: SimDuration::from_us(1_000),
-        });
+        // The shared policy_sweep scenario declares the paper's default
+        // RTOS; override_schedulers re-points it at the policy under
+        // comparison without touching the functional model.
+        let mut model = policy_sweep_system();
+        model.override_schedulers(true, |_| make());
         let mut system = model.elaborate().expect("valid model");
         system.run().expect("run");
         let report = system.verify_constraints();

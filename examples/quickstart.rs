@@ -1,77 +1,32 @@
 //! Quickstart: two tasks and an interrupt on one RTOS processor.
 //!
-//! Builds the smallest meaningful system directly on the `rtsim-core` API
-//! (no MCSE model layer): a background task, a high-priority interrupt
-//! handler, a periodic hardware interrupt, and a 5 µs-overhead RTOS.
-//! Prints the TimeLine chart and the run statistics.
+//! Elaborates the smallest meaningful system from the shared scenario
+//! registry (`rtsim::scenarios::quickstart_system`): a background task,
+//! a high-priority interrupt handler, a periodic hardware timer, and a
+//! 5 µs-overhead RTOS. Prints the TimeLine chart and the run statistics.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use rtsim::{
-    spawn_periodic_interrupt, Overheads, Processor, ProcessorConfig, SimDuration, SimTime,
-    Simulator, Statistics, TaskConfig, TimelineOptions, TraceRecorder, Waiter,
-};
+use rtsim::scenarios::quickstart_system;
+use rtsim::{SimDuration, SimTime, TimelineOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut sim = Simulator::new();
-    let recorder = TraceRecorder::new();
-
-    // A processor with the paper's default behaviour (priority-based
-    // preemptive scheduling) and uniform 5 µs overheads.
-    let cpu = Processor::new(
-        &mut sim,
-        &recorder,
-        ProcessorConfig::new("CPU0").overheads(Overheads::uniform(SimDuration::from_us(5))),
-    );
-
-    // A high-priority handler: waits for the interrupt, handles it in
-    // 20 µs, repeats.
-    let handler = cpu.spawn_task(
-        &mut sim,
-        TaskConfig::new("irq_handler").priority(9),
-        |task| {
-            for _ in 0..4 {
-                task.suspend(false);
-                task.execute(SimDuration::from_us(20));
-            }
-        },
-    );
-
-    // A low-priority background task: 600 µs of computation, preempted by
-    // every interrupt, remaining time recomputed exactly.
-    cpu.spawn_task(&mut sim, TaskConfig::new("background").priority(1), |task| {
-        task.execute(SimDuration::from_us(600));
-    });
-
-    // A hardware timer raising the interrupt every 150 µs.
-    spawn_periodic_interrupt(
-        &mut sim,
-        "timer",
-        SimDuration::from_us(150),
-        SimDuration::from_us(150),
-        4,
-        Waiter::Task(handler),
-    );
-
-    sim.run()?;
-    println!("simulation finished at {}", sim.now());
+    let mut system = quickstart_system().elaborate()?;
+    system.run()?;
+    println!("simulation finished at {}", system.now());
     println!();
 
-    let trace = recorder.snapshot();
     println!(
         "{}",
-        rtsim::trace::timeline::render(
-            &trace,
-            &TimelineOptions {
-                width: 100,
-                ..TimelineOptions::default()
-            }
-        )
+        system.timeline(&TimelineOptions {
+            width: 100,
+            ..TimelineOptions::default()
+        })
     );
 
     let horizon = SimTime::ZERO + SimDuration::from_us(800);
-    println!("{}", Statistics::from_trace(&trace, horizon));
-    println!("scheduler: {:?}", cpu.stats());
-    println!("kernel:    {:?}", sim.stats());
+    println!("{}", system.statistics(horizon));
+    println!("scheduler: {:?}", system.processor_stats("CPU0").unwrap());
+    println!("kernel:    {:?}", system.kernel_stats());
     Ok(())
 }

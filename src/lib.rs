@@ -16,7 +16,10 @@
 //!   constraint verification;
 //! - [`campaign`] — deterministic parallel batch simulation: fan
 //!   independent runs (sweeps, Monte-Carlo trials, ablations) out over
-//!   a worker pool with bit-identical results for any `RTSIM_WORKERS`.
+//!   a worker pool with bit-identical results for any `RTSIM_WORKERS`;
+//! - [`farm`] — the regression farm: golden-fingerprint sweeps of every
+//!   [`scenarios`] system across the whole scheduling-policy matrix,
+//!   checked against pinned goldens by the `rtsim-farm` binary.
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -44,9 +47,9 @@
 
 #![warn(missing_docs)]
 
-pub mod scenarios;
-
 pub use rtsim_campaign as campaign;
+pub use rtsim_farm as farm;
+pub use rtsim_farm::scenarios;
 pub use rtsim_comm as comm;
 pub use rtsim_core as core;
 pub use rtsim_kernel as kernel;

@@ -59,4 +59,10 @@ cargo build --release --offline --workspace --all-targets
 echo "== hermetic check: offline test suite =="
 cargo test -q --offline --workspace
 
+echo "== hermetic check: regression farm goldens (smoke subset) =="
+# The release build above already produced the farm binary; sweep the
+# smoke matrix against tests/goldens/farm.jsonl so behavioural drift is
+# caught here too. Re-pin intentional changes with `rtsim-farm --bless`.
+RTSIM_BENCH_SMOKE=1 "$repo/target/release/rtsim-farm" --check
+
 echo "hermetic check PASSED"
