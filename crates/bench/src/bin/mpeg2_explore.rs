@@ -4,34 +4,64 @@
 //! engine implementation and queue sizing.
 //!
 //! The seven design points are independent full-system simulations, so
-//! they fan out over the `rtsim-campaign` worker pool (`RTSIM_WORKERS`
-//! knob) — exactly the "explore many architectures before committing
-//! the SoC" workflow §5 motivates, at worker-pool speed.
-//! `RTSIM_BENCH_SMOKE=1` shrinks the frame count.
+//! they fan out over the `rtsim-grid` engine: sharded across independent
+//! campaigns (`RTSIM_GRID_SHARDS`, merged results identical for any
+//! value), each point cached content-addressed by its configuration
+//! (`RTSIM_GRID_CACHE=<dir>` — re-exploring after editing one point
+//! re-simulates only that point). This is exactly the "explore many
+//! architectures before committing the SoC" workflow §5 motivates,
+//! at worker-pool speed with incremental re-runs. `RTSIM_WORKERS` sets
+//! the per-shard pool width; `RTSIM_BENCH_SMOKE=1` shrinks the frame
+//! count; `RTSIM_CAMPAIGN_OUT=<dir>` writes the merged per-point
+//! records as `mpeg2_explore.jsonl`.
 //!
 //! Run with: `cargo run --release -p rtsim-bench --bin mpeg2_explore`
 
-use rtsim::campaign::Campaign;
+use rtsim::grid::record::{string_field, u64_array_field, u64_field};
 use rtsim::scenarios::{mpeg2_latencies, mpeg2_system, Mpeg2Config};
-use rtsim::{EngineKind, Overheads, SimDuration};
-use rtsim_bench::{fmt_wall, report_campaign, scaled};
+use rtsim::{EngineKind, Grid, Overheads, Record, SimDuration};
+use rtsim_bench::{fmt_wall, report_grid, scaled};
+use rtsim_campaign::write_artifact;
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
 }
 
 struct Point {
-    label: String,
+    label: &'static str,
     config: Mpeg2Config,
 }
 
-/// Deterministic per-point measurements (wall time is reported
-/// separately from the campaign's job metrics).
+/// Deterministic per-point measurements, all integer picoseconds so the
+/// grid-cache JSONL codec round-trips bit-exactly (wall time is reported
+/// separately from the job metrics).
 #[derive(Debug, Clone, PartialEq)]
 struct PointResult {
-    latencies: Vec<SimDuration>,
-    makespan: SimDuration,
+    label: String,
+    latencies_ps: Vec<u64>,
+    makespan_ps: u64,
     preemptions: u64,
+}
+
+impl Record for PointResult {
+    fn encode(&self) -> String {
+        let lat: Vec<String> = self.latencies_ps.iter().map(u64::to_string).collect();
+        format!(
+            r#"{{"label":"{}","latencies_ps":[{}],"makespan_ps":{},"preemptions":{}}}"#,
+            self.label,
+            lat.join(","),
+            self.makespan_ps,
+            self.preemptions,
+        )
+    }
+    fn decode(line: &str) -> Option<Self> {
+        Some(PointResult {
+            label: string_field(line, "label")?,
+            latencies_ps: u64_array_field(line, "latencies_ps")?,
+            makespan_ps: u64_field(line, "makespan_ps")?,
+            preemptions: u64_field(line, "preemptions")?,
+        })
+    }
 }
 
 fn main() {
@@ -42,48 +72,48 @@ fn main() {
         frame_period: us(4_000),
         queue_capacity: 4,
     };
-    let points = vec![
+    let points = [
         Point {
-            label: "baseline (5us ovh, cap 4)".into(),
+            label: "baseline (5us ovh, cap 4)",
             config: base.clone(),
         },
         Point {
-            label: "ideal RTOS (0 ovh)".into(),
+            label: "ideal RTOS (0 ovh)",
             config: Mpeg2Config {
                 overheads: Overheads::zero(),
                 ..base.clone()
             },
         },
         Point {
-            label: "slow RTOS (25us ovh)".into(),
+            label: "slow RTOS (25us ovh)",
             config: Mpeg2Config {
                 overheads: Overheads::uniform(us(25)),
                 ..base.clone()
             },
         },
         Point {
-            label: "shallow queues (cap 1)".into(),
+            label: "shallow queues (cap 1)",
             config: Mpeg2Config {
                 queue_capacity: 1,
                 ..base.clone()
             },
         },
         Point {
-            label: "deep queues (cap 16)".into(),
+            label: "deep queues (cap 16)",
             config: Mpeg2Config {
                 queue_capacity: 16,
                 ..base.clone()
             },
         },
         Point {
-            label: "faster camera (3ms)".into(),
+            label: "faster camera (3ms)",
             config: Mpeg2Config {
                 frame_period: us(3_000),
                 ..base.clone()
             },
         },
         Point {
-            label: "dedicated-thread engine".into(),
+            label: "dedicated-thread engine",
             config: Mpeg2Config {
                 engine: EngineKind::DedicatedThread,
                 ..base.clone()
@@ -91,22 +121,30 @@ fn main() {
         },
     ];
 
-    let cmp = Campaign::new("mpeg2_explore", 2004)
-        .progress_from_env()
-        .run_vs_serial(points.len(), |ctx| {
-            let config = &points[ctx.index()].config;
-            let mut system = mpeg2_system(config).elaborate().expect("model");
+    let report = Grid::new("mpeg2_explore", 2004).run(
+        points.len(),
+        // The cache-key fingerprint covers the whole configuration
+        // (Debug includes the frame count, so smoke and full runs cache
+        // separately) plus the label the record carries.
+        |index| format!("{}|{:?}", points[index].label, points[index].config),
+        |ctx| {
+            let point = &points[ctx.index()];
+            let mut system = mpeg2_system(&point.config).elaborate().expect("model");
             system.run().expect("run");
             PointResult {
-                latencies: mpeg2_latencies(&system.trace()),
-                makespan: system.now().since_start(),
+                label: point.label.to_owned(),
+                latencies_ps: mpeg2_latencies(&system.trace())
+                    .iter()
+                    .map(|l| l.as_ps())
+                    .collect(),
+                makespan_ps: system.now().since_start().as_ps(),
                 preemptions: ["CPU0", "CPU1", "CPU2"]
                     .iter()
                     .map(|c| system.processor_stats(c).map_or(0, |s| s.preemptions))
                     .sum(),
             }
-        });
-    assert_eq!(cmp.report.failed_count(), 0, "a design point panicked");
+        },
+    );
 
     println!(
         "== MPEG-2 SoC design-space exploration ({} frames) ==\n",
@@ -116,30 +154,25 @@ fn main() {
         "{:<26} {:>11} {:>11} {:>11} {:>12} {:>10}",
         "configuration", "avg lat", "max lat", "makespan", "preemptions", "wall"
     );
-    for (point, outcome) in points.iter().zip(&cmp.report.outcomes) {
-        let result = outcome.result.as_ref().expect("checked above");
-        let avg = if result.latencies.is_empty() {
+    for (result, wall) in report.records.iter().zip(&report.job_walls) {
+        let avg = if result.latencies_ps.is_empty() {
             0.0
         } else {
-            result.latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>()
-                / result.latencies.len() as f64
+            result.latencies_ps.iter().sum::<u64>() as f64 / result.latencies_ps.len() as f64
         };
-        let max = result
-            .latencies
-            .iter()
-            .map(|l| l.as_secs_f64())
-            .fold(0.0f64, f64::max);
+        let max = result.latencies_ps.iter().copied().max().unwrap_or(0);
         println!(
             "{:<26} {:>9.0}us {:>9.0}us {:>9.0}us {:>12} {:>10}",
-            point.label,
-            avg * 1e6,
-            max * 1e6,
-            result.makespan.as_secs_f64() * 1e6,
+            result.label,
+            avg / 1e6,
+            max as f64 / 1e6,
+            result.makespan_ps as f64 / 1e6,
             result.preemptions,
-            fmt_wall(outcome.wall)
+            fmt_wall(*wall)
         );
     }
-    report_campaign(&cmp);
+    report_grid(&report);
+    write_artifact("mpeg2_explore.jsonl", &report.merged_jsonl());
     println!("\n(the numbers a designer extracts before committing the SoC:");
     println!("RTOS overhead stretches latency; a faster camera shortens the");
     println!("makespan but raises contention (more preemptions); queue depth is");

@@ -63,6 +63,22 @@ pub fn report_campaign<T>(cmp: &rtsim_campaign::Comparison<T>) {
     );
 }
 
+/// Prints the grid engine's shard/cache summary line for harnesses that
+/// run as a sharded, result-cached grid (see `rtsim_grid`).
+pub fn report_grid<T>(report: &rtsim_grid::GridReport<T>) {
+    println!(
+        "\ngrid `{}`: {} jobs, seed {} — {} shard(s) x {} worker(s), {} cache hit(s) / {} miss(es), {}",
+        report.name,
+        report.jobs,
+        report.seed,
+        report.shards.len(),
+        report.workers,
+        report.hits(),
+        report.misses(),
+        fmt_wall(report.wall),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,8 @@ fn run_smoke(bin: &str) -> String {
     let output = Command::new(bin)
         .env("RTSIM_BENCH_SMOKE", "1")
         .env("RTSIM_WORKERS", "2")
+        .env_remove("RTSIM_GRID_SHARDS")
+        .env_remove("RTSIM_GRID_CACHE")
         .output()
         .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
     assert!(
@@ -48,9 +50,12 @@ fn server_ablation_smoke() {
 
 #[test]
 fn mpeg2_explore_smoke() {
+    // mpeg2_explore runs as a sharded, result-cached grid: without a
+    // cache every design point is a miss.
     let out = run_smoke(env!("CARGO_BIN_EXE_mpeg2_explore"));
     assert!(out.contains("design-space exploration (2 frames)"), "{out}");
-    assert!(out.contains("results identical"), "{out}");
+    assert!(out.contains("grid `mpeg2_explore`: 7 jobs, seed 2004"), "{out}");
+    assert!(out.contains("0 cache hit(s) / 7 miss(es)"), "{out}");
 }
 
 #[test]

@@ -27,28 +27,39 @@ pub fn scaled(full: usize, reduced: usize) -> usize {
     }
 }
 
+/// Writes one named artifact file into the directory named by
+/// `RTSIM_CAMPAIGN_OUT` (no-op when the variable is unset or the content
+/// is empty).
+///
+/// [`write_campaign_outputs`] covers the common JSONL+CSV pair; this is
+/// the general writer for everything else — per-shard grid outputs,
+/// merged result sets, extra tables.
+pub fn write_artifact(filename: &str, content: &str) {
+    let Ok(dir) = std::env::var("RTSIM_CAMPAIGN_OUT") else {
+        return;
+    };
+    if content.is_empty() {
+        return;
+    }
+    let dir = Path::new(&dir);
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("RTSIM_CAMPAIGN_OUT: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(filename);
+    match fs::write(&path, content) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("RTSIM_CAMPAIGN_OUT: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// Writes a campaign's JSONL and CSV artifacts into the directory named
 /// by `RTSIM_CAMPAIGN_OUT` (no-op when the variable is unset).
 ///
 /// Pass an empty string for an artifact you do not produce; empty
 /// contents are skipped rather than written as empty files.
 pub fn write_campaign_outputs(name: &str, jsonl: &str, csv: &str) {
-    let Ok(dir) = std::env::var("RTSIM_CAMPAIGN_OUT") else {
-        return;
-    };
-    let dir = Path::new(&dir);
-    if let Err(e) = fs::create_dir_all(dir) {
-        eprintln!("RTSIM_CAMPAIGN_OUT: cannot create {}: {e}", dir.display());
-        return;
-    }
     for (ext, content) in [("jsonl", jsonl), ("csv", csv)] {
-        if content.is_empty() {
-            continue;
-        }
-        let path = dir.join(format!("{name}.{ext}"));
-        match fs::write(&path, content) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("RTSIM_CAMPAIGN_OUT: cannot write {}: {e}", path.display()),
-        }
+        write_artifact(&format!("{name}.{ext}"), content);
     }
 }

@@ -4,7 +4,7 @@
 //! tables* — one row per job or per aggregate — and lives here so the
 //! campaign crate stays dependent on the kernel alone.
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 use std::io::{self, Write};
 
 /// A CSV table under construction: a header and appended rows.
@@ -49,12 +49,6 @@ impl CsvTable {
         assert_eq!(n, self.columns, "row has {n} fields, header has {}", self.columns);
     }
 
-    /// The rendered table (header + rows, CRLF line endings per RFC
-    /// 4180).
-    pub fn to_string(&self) -> String {
-        self.out.clone()
-    }
-
     /// Streams the rendered table to `out`.
     ///
     /// # Errors
@@ -75,6 +69,17 @@ impl CsvTable {
         }
         self.out.push_str("\r\n");
         n
+    }
+}
+
+/// The rendered table (header + rows, CRLF line endings per RFC 4180).
+/// `Display` rather than an inherent `to_string` (clippy
+/// `inherent_to_string`): call sites keep using `.to_string()` via the
+/// blanket `ToString`, and the table now also works with `format!` and
+/// `write!` directly.
+impl fmt::Display for CsvTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.out)
     }
 }
 
@@ -120,5 +125,12 @@ mod tests {
         let mut buf = Vec::new();
         t.write_to(&mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), t.to_string());
+    }
+
+    #[test]
+    fn display_renders_the_table() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(format!("{t}"), "a,b\r\n1,2\r\n");
     }
 }

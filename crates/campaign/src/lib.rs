@@ -48,11 +48,13 @@
 
 pub mod artifacts;
 pub mod csv;
+pub mod hash;
 pub mod json;
 mod pool;
 mod stats;
 
-pub use artifacts::{scaled, smoke, write_campaign_outputs};
+pub use artifacts::{scaled, smoke, write_artifact, write_campaign_outputs};
+pub use hash::Fnv1a;
 pub use pool::{
     workers_from_env, Campaign, Comparison, JobCtx, JobOutcome, JobPanic, Progress, Report,
 };

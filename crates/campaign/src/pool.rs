@@ -32,7 +32,8 @@ pub struct JobCtx {
 }
 
 impl JobCtx {
-    /// This job's index in `0..jobs`.
+    /// This job's global index: `0..jobs` for a plain campaign, offset
+    /// by [`Campaign::first_index`] for a shard of a larger grid.
     pub fn index(&self) -> usize {
         self.index
     }
@@ -80,7 +81,7 @@ impl std::error::Error for JobPanic {}
 /// One job's outcome: its value or captured panic, plus wall-clock cost.
 #[derive(Debug, Clone)]
 pub struct JobOutcome<T> {
-    /// The job's index in `0..jobs`.
+    /// The job's global index (see [`JobCtx::index`]).
     pub index: usize,
     /// Wall-clock time this job took on its worker.
     pub wall: Duration,
@@ -104,13 +105,19 @@ pub struct Progress {
 
 /// Reads the worker count from `RTSIM_WORKERS`, defaulting to the
 /// machine's available parallelism (at least 1).
+///
+/// An explicit `RTSIM_WORKERS=0` means 1 (serial): a value the user set
+/// on purpose must never silently fall back to machine parallelism.
 pub fn workers_from_env() -> usize {
     env::var("RTSIM_WORKERS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+        .map(|n| n.max(1))
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
 }
+
+/// The boxed progress-callback shape [`Campaign::on_progress`] stores.
+type ProgressCallback = Box<dyn Fn(&Progress) + Send + Sync>;
 
 /// A deterministic parallel batch run: N independent jobs fanned out
 /// over a worker pool, results aggregated in job-index order.
@@ -121,8 +128,9 @@ pub struct Campaign {
     name: String,
     seed: u64,
     workers: usize,
+    first_index: usize,
     chunk: Option<usize>,
-    on_progress: Option<Box<dyn Fn(&Progress) + Send + Sync>>,
+    on_progress: Option<ProgressCallback>,
 }
 
 impl std::fmt::Debug for Campaign {
@@ -131,6 +139,7 @@ impl std::fmt::Debug for Campaign {
             .field("name", &self.name)
             .field("seed", &self.seed)
             .field("workers", &self.workers)
+            .field("first_index", &self.first_index)
             .field("chunk", &self.chunk)
             .finish()
     }
@@ -144,6 +153,7 @@ impl Campaign {
             name: name.to_owned(),
             seed,
             workers: workers_from_env(),
+            first_index: 0,
             chunk: None,
             on_progress: None,
         }
@@ -153,6 +163,21 @@ impl Campaign {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Makes this campaign a *shard* of a larger run: job indices run
+    /// `first..first + jobs` instead of `0..jobs`, and every job's
+    /// stream is forked from the campaign seed by its **global** index.
+    ///
+    /// Splitting `0..N` into contiguous shards with the same seed and
+    /// running each as its own campaign therefore yields, concatenated,
+    /// exactly the outcomes of the single campaign over `0..N` — shard
+    /// boundaries are invisible to results. This is the substrate of
+    /// `rtsim-grid`.
+    #[must_use]
+    pub fn first_index(mut self, first: usize) -> Self {
+        self.first_index = first;
         self
     }
 
@@ -230,7 +255,8 @@ impl Campaign {
                     if start >= jobs {
                         break;
                     }
-                    for index in start..(start + chunk).min(jobs) {
+                    for local in start..(start + chunk).min(jobs) {
+                        let index = self.first_index + local;
                         let mut ctx = JobCtx {
                             index,
                             campaign_seed: self.seed,
@@ -263,8 +289,8 @@ impl Campaign {
                 if outcome.result.is_err() {
                     failed += 1;
                 }
-                let index = outcome.index;
-                slots[index] = Some(outcome);
+                let slot = outcome.index - self.first_index;
+                slots[slot] = Some(outcome);
                 if let Some(cb) = &self.on_progress {
                     cb(&Progress {
                         completed,
@@ -307,6 +333,7 @@ impl Campaign {
             name: self.name.clone(),
             seed: self.seed,
             workers: 1,
+            first_index: self.first_index,
             chunk: self.chunk,
             on_progress: None,
         }
@@ -466,10 +493,28 @@ mod tests {
         // so they cannot race each other in the parallel test harness.
         std::env::set_var("RTSIM_WORKERS", "3");
         assert_eq!(workers_from_env(), 3);
+        // An explicit 0 means serial — exactly 1, never the machine
+        // fallback (which would make the setting silently surprising).
         std::env::set_var("RTSIM_WORKERS", "0");
+        assert_eq!(workers_from_env(), 1);
+        // Garbage is not an explicit count: machine fallback applies.
+        std::env::set_var("RTSIM_WORKERS", "lots");
         assert!(workers_from_env() >= 1);
         std::env::remove_var("RTSIM_WORKERS");
         assert!(workers_from_env() >= 1);
+    }
+
+    #[test]
+    fn first_index_shards_reproduce_the_unsharded_run() {
+        let job = |ctx: &mut JobCtx| (ctx.index(), ctx.rng().next_u64());
+        let whole = Campaign::new("whole", 77).workers(4).run(10, job);
+        let head = Campaign::new("head", 77).workers(2).run(6, job);
+        let tail = Campaign::new("tail", 77).workers(3).first_index(6).run(4, job);
+        let merged: Vec<_> = head.values().chain(tail.values()).copied().collect();
+        assert_eq!(whole.values().copied().collect::<Vec<_>>(), merged);
+        // Outcome indices are global in the offset shard.
+        assert_eq!(tail.outcomes[0].index, 6);
+        assert_eq!(tail.outcomes[3].index, 9);
     }
 
     #[test]

@@ -44,10 +44,12 @@ pub struct StatSummary {
 }
 
 impl StatSummary {
-    /// Summarizes the samples; `None` when empty or any sample is NaN.
+    /// Summarizes the samples; `None` when empty or any sample is
+    /// non-finite (NaN or ±∞ — an infinite sample would silently yield
+    /// `mean = inf` and `stddev = NaN`, poisoning every aggregate).
     pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Option<Self> {
         let mut sorted: Vec<f64> = values.into_iter().collect();
-        if sorted.is_empty() || sorted.iter().any(|v| v.is_nan()) {
+        if sorted.is_empty() || sorted.iter().any(|v| !v.is_finite()) {
             return None;
         }
         sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
@@ -55,10 +57,7 @@ impl StatSummary {
         let sum: f64 = sorted.iter().sum();
         let mean = sum / count as f64;
         let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
-        let rank = |q_num: usize, q_den: usize| -> f64 {
-            let idx = (q_num * count).div_ceil(q_den).saturating_sub(1);
-            sorted[idx.min(count - 1)]
-        };
+        let rank = |q_num: u64, q_den: u64| -> f64 { sorted[nearest_rank_index(q_num, q_den, count)] };
         Some(StatSummary {
             count,
             min: sorted[0],
@@ -70,6 +69,17 @@ impl StatSummary {
             stddev: var.sqrt(),
         })
     }
+}
+
+/// Index of the nearest-rank `q_num/q_den` quantile among `count` sorted
+/// samples, computed in `u128` so `q_num * count` cannot overflow even
+/// for counts near `usize::MAX` (on 64-bit, `95 * count` overflows for
+/// counts beyond `usize::MAX / 95`).
+fn nearest_rank_index(q_num: u64, q_den: u64, count: usize) -> usize {
+    let idx = (u128::from(q_num) * count as u128)
+        .div_ceil(u128::from(q_den))
+        .saturating_sub(1);
+    idx.min((count - 1) as u128) as usize
 }
 
 impl fmt::Display for StatSummary {
@@ -95,7 +105,6 @@ impl fmt::Display for StatSummary {
 ///     h.add(v);
 /// }
 /// assert_eq!(h.counts(), &[2, 2, 0, 0, 0]); // buckets are 2.0 wide
-
 /// assert_eq!(h.overflow(), 1);
 /// assert_eq!(h.total(), 5);
 /// ```
@@ -186,7 +195,12 @@ impl Histogram {
         }
         for (idx, &count) in self.counts.iter().enumerate() {
             let (lo, hi) = self.bucket_bounds(idx);
-            let bar = "#".repeat(((count as usize) * width).div_ceil(peak as usize).min(width));
+            // `count * width` is computed in u128: a u64 count near
+            // `usize::MAX / width` would overflow the usize product.
+            let len = (u128::from(count) * width as u128)
+                .div_ceil(u128::from(peak))
+                .min(width as u128) as usize;
+            let bar = "#".repeat(len);
             let _ = writeln!(out, "[{lo:>9.3}, {hi:>9.3}) {count:>7} {bar}");
         }
         if self.overflow > 0 {
@@ -211,9 +225,29 @@ mod tests {
     }
 
     #[test]
-    fn summary_rejects_empty_and_nan() {
+    fn summary_rejects_empty_and_non_finite() {
         assert_eq!(StatSummary::from_values([]), None);
         assert_eq!(StatSummary::from_values([1.0, f64::NAN]), None);
+        // Regression: ±∞ used to be accepted, silently yielding
+        // `mean = inf` and `stddev = NaN`.
+        assert_eq!(StatSummary::from_values([1.0, f64::INFINITY]), None);
+        assert_eq!(StatSummary::from_values([f64::NEG_INFINITY, 1.0]), None);
+        assert_eq!(StatSummary::from_values([f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn nearest_rank_survives_extreme_counts() {
+        // `95 * count` would overflow usize for counts past
+        // usize::MAX / 95; the u128 arithmetic must not.
+        let count = usize::MAX;
+        assert_eq!(nearest_rank_index(1, 2, count), count.div_ceil(2) - 1);
+        assert_eq!(nearest_rank_index(100, 100, count), count - 1);
+        let p95 = nearest_rank_index(95, 100, count);
+        assert!(p95 < count && p95 > count / 2);
+        // Small-count sanity: ranks match the closure they replaced.
+        assert_eq!(nearest_rank_index(1, 2, 100), 49);
+        assert_eq!(nearest_rank_index(95, 100, 100), 94);
+        assert_eq!(nearest_rank_index(95, 100, 1), 0);
     }
 
     #[test]
@@ -238,6 +272,22 @@ mod tests {
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.total(), 4);
         assert_eq!(h.bucket_bounds(3), (3.0, 4.0));
+    }
+
+    #[test]
+    fn histogram_render_survives_extreme_counts() {
+        // Regression: `(count as usize) * width` overflowed for counts
+        // near usize::MAX / width. Force the counters directly (adding
+        // u64::MAX samples one by one is not an option).
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.counts[0] = u64::MAX;
+        h.counts[1] = u64::MAX / 2;
+        let text = h.render(50);
+        for line in text.lines() {
+            let bar = line.chars().filter(|&c| c == '#').count();
+            assert!(bar <= 50, "bar wider than requested: {line}");
+        }
+        assert!(text.lines().next().unwrap().ends_with(&"#".repeat(50)));
     }
 
     #[test]

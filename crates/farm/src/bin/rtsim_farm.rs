@@ -9,57 +9,40 @@
 //! ```
 //!
 //! `RTSIM_WORKERS` sets the pool width (results are identical for any
-//! value); `RTSIM_BENCH_SMOKE=1` shrinks the run and `--check` to the
-//! smoke subset of the matrix; `RTSIM_CAMPAIGN_OUT=<dir>` additionally
-//! writes the results as `farm.jsonl` / `farm.csv` artifacts;
-//! `RTSIM_FARM_GOLDENS` overrides the golden-file path.
+//! value); `RTSIM_GRID_SHARDS` / `RTSIM_GRID_CACHE` shard the sweep and
+//! cache per-cell results (also identical for any value — see
+//! `rtsim-grid`); `RTSIM_BENCH_SMOKE=1` shrinks the run and `--check` to
+//! the smoke subset of the matrix; `RTSIM_CAMPAIGN_OUT=<dir>`
+//! additionally writes the results as `farm.jsonl` / `farm.csv`
+//! artifacts; `RTSIM_FARM_GOLDENS` overrides the golden-file path.
 
 use std::process::ExitCode;
 
-use rtsim_campaign::csv::CsvTable;
 use rtsim_campaign::{smoke, workers_from_env, write_campaign_outputs};
-use rtsim_farm::registry::{full_matrix, run_matrix, smoke_matrix, CellResult, PolicyKind, SCENARIOS};
-use rtsim_farm::{diff, goldens_path, render};
-
-fn results_csv(results: &[CellResult]) -> String {
-    let mut table = CsvTable::new([
-        "scenario",
-        "policy",
-        "mode",
-        "hash",
-        "events",
-        "makespan_ps",
-        "dispatches",
-        "preemptions",
-        "deadline_misses",
-    ]);
-    for r in results {
-        let f = &r.fingerprint;
-        table.row([
-            r.cell.scenario.to_owned(),
-            r.cell.policy.key().to_owned(),
-            r.cell.mode().to_owned(),
-            f.hash_hex(),
-            f.events.to_string(),
-            f.makespan_ps.to_string(),
-            f.dispatches.to_string(),
-            f.preemptions.to_string(),
-            f.deadline_misses.to_string(),
-        ]);
-    }
-    table.to_string()
-}
+use rtsim_farm::registry::{full_matrix, run_matrix_sharded, smoke_matrix, PolicyKind, SCENARIOS};
+use rtsim_farm::{diff, goldens_path, render, render_csv, CellResult};
+use rtsim_grid::{shards_from_env, CacheStore};
 
 fn run(cells: Vec<rtsim_farm::Cell>) -> Vec<CellResult> {
     let workers = workers_from_env();
+    let shards = shards_from_env();
+    let cache = CacheStore::from_env();
+    let cached = cache.is_some();
     println!(
-        "running {} cells on {workers} workers (registry: {} scenarios x {} policies x 2 modes)",
+        "running {} cells on {workers} workers x {shards} shard(s) (registry: {} scenarios x {} policies x 2 modes)",
         cells.len(),
         SCENARIOS.len(),
         PolicyKind::ALL.len(),
     );
-    let results = run_matrix(&cells, workers);
-    write_campaign_outputs("farm", &render(&results), &results_csv(&results));
+    let sweep = run_matrix_sharded(&cells, workers, shards, cache);
+    if cached {
+        println!(
+            "cache: {} hit(s), {} miss(es)",
+            sweep.hits, sweep.misses
+        );
+    }
+    let results = sweep.results;
+    write_campaign_outputs("farm", &render(&results), &render_csv(&results));
     results
 }
 

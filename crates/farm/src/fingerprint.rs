@@ -13,52 +13,10 @@ use std::fmt::Write as _;
 use rtsim_mcse::ElaboratedSystem;
 use rtsim_trace::{canonical, ActorKind, Measure};
 
-/// The 64-bit FNV-1a hasher (offset basis `0xcbf29ce484222325`, prime
-/// `0x100000001b3`), hand-rolled because the workspace is hermetic.
-///
-/// # Examples
-///
-/// ```
-/// use rtsim_farm::Fnv1a;
-///
-/// let mut h = Fnv1a::new();
-/// h.write(b"");
-/// assert_eq!(h.finish(), 0xcbf29ce484222325); // empty input = offset basis
-/// let mut h = Fnv1a::new();
-/// h.write(b"a");
-/// assert_eq!(h.finish(), 0xaf63dc4c8601ec8c); // published FNV-1a test vector
-/// ```
-#[derive(Debug, Clone, Copy)]
-pub struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf29ce484222325;
-    const PRIME: u64 = 0x100000001b3;
-
-    /// Starts a hash at the FNV offset basis.
-    pub fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
-
-    /// Feeds bytes into the hash.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    /// The current hash value.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Fnv1a::new()
-    }
-}
+// The hasher itself moved down into `rtsim_campaign::hash` so the
+// grid's cache keys and the farm's fingerprints share one primitive;
+// re-exported here because `rtsim_farm::Fnv1a` is the historical path.
+pub use rtsim_campaign::Fnv1a;
 
 /// The reduction of one finished run: a behaviour hash plus the integer
 /// summary metrics pinned alongside it in the goldens (so a drift report

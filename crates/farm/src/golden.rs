@@ -17,9 +17,12 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
+use rtsim_campaign::csv::CsvTable;
 use rtsim_campaign::json::Json;
+use rtsim_grid::record::{string_field, u64_field};
 
-use crate::registry::CellResult;
+use crate::fingerprint::Fingerprint;
+use crate::registry::{scenario_by_name, Cell, CellResult, PolicyKind};
 
 /// Environment variable overriding the golden-file location (used by the
 /// tamper-detection tests; normal runs use the committed file).
@@ -65,35 +68,79 @@ pub fn render(results: &[CellResult]) -> String {
     out
 }
 
-/// Extracts the string value of `"key":"…"` from a golden line written
-/// by [`render_line`]. None of the values the farm writes contain
-/// escapes, so a plain scan suffices.
-fn string_field(line: &str, key: &str) -> Option<String> {
-    let marker = format!("\"{key}\":\"");
-    let start = line.find(&marker)? + marker.len();
-    let end = line[start..].find('"')? + start;
-    Some(line[start..end].to_owned())
-}
-
-/// Extracts the integer value of `"key":n`.
-fn int_field(line: &str, key: &str) -> Option<u64> {
-    let marker = format!("\"{key}\":");
-    let start = line.find(&marker)? + marker.len();
-    let digits: String = line[start..]
-        .chars()
-        .take_while(char::is_ascii_digit)
-        .collect();
-    digits.parse().ok()
-}
-
 /// Parses the `(scenario, policy, mode)` identity of a golden line.
 /// Returns `None` on lines that are not well-formed cell records.
+///
+/// Field extraction is the grid's flat-record scanning
+/// ([`rtsim_grid::record`]); none of the values the farm writes contain
+/// escapes, so the plain scan suffices.
 pub fn parse_cell_key(line: &str) -> Option<(String, String, String)> {
     Some((
         string_field(line, "scenario")?,
         string_field(line, "policy")?,
         string_field(line, "mode")?,
     ))
+}
+
+/// Parses a full golden line back into the [`CellResult`] that rendered
+/// it — the decode half of the grid-cache round-trip
+/// (`parse_line(render_line(r)) == Some(r)`). Returns `None` on
+/// malformed lines or unknown scenario/policy/mode keys.
+pub fn parse_line(line: &str) -> Option<CellResult> {
+    let (scenario, policy, mode) = parse_cell_key(line)?;
+    let scenario = scenario_by_name(&scenario)?.name;
+    let policy = PolicyKind::from_key(&policy)?;
+    let preemptive = match mode.as_str() {
+        "preemptive" => true,
+        "cooperative" => false,
+        _ => return None,
+    };
+    Some(CellResult {
+        cell: Cell {
+            scenario,
+            policy,
+            preemptive,
+        },
+        fingerprint: Fingerprint {
+            hash: u64::from_str_radix(&string_field(line, "hash")?, 16).ok()?,
+            events: u64_field(line, "events")?,
+            makespan_ps: u64_field(line, "makespan_ps")?,
+            dispatches: u64_field(line, "dispatches")?,
+            preemptions: u64_field(line, "preemptions")?,
+            deadline_misses: u64_field(line, "deadline_misses")?,
+        },
+    })
+}
+
+/// Renders a result set as the CSV table the `rtsim-farm` and
+/// `rtsim-grid` binaries emit as campaign artifacts.
+pub fn render_csv(results: &[CellResult]) -> String {
+    let mut table = CsvTable::new([
+        "scenario",
+        "policy",
+        "mode",
+        "hash",
+        "events",
+        "makespan_ps",
+        "dispatches",
+        "preemptions",
+        "deadline_misses",
+    ]);
+    for r in results {
+        let f = &r.fingerprint;
+        table.row([
+            r.cell.scenario.to_owned(),
+            r.cell.policy.key().to_owned(),
+            r.cell.mode().to_owned(),
+            f.hash_hex(),
+            f.events.to_string(),
+            f.makespan_ps.to_string(),
+            f.dispatches.to_string(),
+            f.preemptions.to_string(),
+            f.deadline_misses.to_string(),
+        ]);
+    }
+    table.to_string()
 }
 
 /// The outcome of comparing fresh results against the goldens.
@@ -131,7 +178,7 @@ fn describe_drift(cell: &str, expected: &str, actual: &str) -> String {
         _ => {}
     }
     for field in FIELDS {
-        match (int_field(expected, field), int_field(actual, field)) {
+        match (u64_field(expected, field), u64_field(actual, field)) {
             (Some(e), Some(a)) if e != a => changes.push(format!("{field} {e} -> {a}")),
             _ => {}
         }
@@ -235,8 +282,32 @@ mod tests {
             ))
         );
         assert_eq!(string_field(&line, "hash").unwrap(), "00000000deadbeef");
-        assert_eq!(int_field(&line, "events"), Some(73));
-        assert_eq!(int_field(&line, "makespan_ps"), Some(780_000_000));
+        assert_eq!(u64_field(&line, "events"), Some(73));
+        assert_eq!(u64_field(&line, "makespan_ps"), Some(780_000_000));
+    }
+
+    #[test]
+    fn parse_line_inverts_render_line() {
+        let result = sample(PolicyKind::Edf, 0x1234_5678_9abc_def0);
+        assert_eq!(parse_line(&render_line(&result)), Some(result));
+        // Unknown keys and malformed lines are rejected, not guessed at.
+        assert_eq!(parse_line(""), None);
+        assert_eq!(
+            parse_line(&render_line(&result).replace("paper_fig6", "no_such_scenario")),
+            None
+        );
+        assert_eq!(
+            parse_line(&render_line(&result).replace("preemptive", "sometimes")),
+            None
+        );
+    }
+
+    #[test]
+    fn render_csv_has_a_row_per_cell() {
+        let csv = render_csv(&[sample(PolicyKind::Priority, 1), sample(PolicyKind::Fifo, 2)]);
+        assert_eq!(csv.lines().count(), 3); // header + 2 rows
+        assert!(csv.starts_with("scenario,policy,mode,hash"));
+        assert!(csv.contains("paper_fig6,fifo,preemptive,0000000000000002"));
     }
 
     #[test]

@@ -36,5 +36,8 @@ pub mod registry;
 pub mod scenarios;
 
 pub use fingerprint::{fingerprint, Fingerprint, Fnv1a};
-pub use golden::{diff, goldens_path, parse_cell_key, render, DiffOutcome};
-pub use registry::{Cell, CellResult, PolicyKind, Scenario, SCENARIOS};
+pub use golden::{diff, goldens_path, parse_cell_key, parse_line, render, render_csv, DiffOutcome};
+pub use registry::{
+    run_matrix, run_matrix_sharded, Cell, CellResult, MatrixRun, PolicyKind, Scenario, FARM_SEED,
+    SCENARIOS,
+};

@@ -198,6 +198,18 @@ pub struct CellResult {
     pub fingerprint: Fingerprint,
 }
 
+/// A cell result round-trips through its golden JSONL line, which is
+/// exactly what the grid's result cache stores: a warm farm sweep
+/// decodes the pinned-format lines instead of re-simulating.
+impl rtsim_grid::Record for CellResult {
+    fn encode(&self) -> String {
+        crate::golden::render_line(self)
+    }
+    fn decode(line: &str) -> Option<Self> {
+        crate::golden::parse_line(line)
+    }
+}
+
 /// The full matrix: every scenario × every policy × both modes.
 pub fn full_matrix() -> Vec<Cell> {
     let mut cells = Vec::new();
@@ -260,21 +272,79 @@ pub fn run_cell(cell: Cell) -> CellResult {
     }
 }
 
-/// Runs a set of cells on the deterministic campaign pool with `workers`
-/// workers. Results come back in cell order and are bit-identical for
-/// any worker count.
+/// The grid seed of every farm sweep. The farm's cells draw nothing
+/// from their streams (each cell is a fixed scenario), but the seed is
+/// still part of every cache key, so bumping it invalidates all cached
+/// cell results at once.
+pub const FARM_SEED: u64 = 0;
+
+/// A matrix sweep's results plus the grid's cache/shard accounting.
+#[derive(Debug, Clone)]
+pub struct MatrixRun {
+    /// Every cell's fingerprint, in cell order.
+    pub results: Vec<CellResult>,
+    /// Cells served from the `RTSIM_GRID_CACHE` store.
+    pub hits: usize,
+    /// Cells actually simulated.
+    pub misses: usize,
+    /// Shard count the sweep ran with.
+    pub shards: usize,
+}
+
+/// Runs a set of cells through the grid ([`rtsim_grid::Grid`]) with
+/// `workers` workers per shard and `shards` shards, caching per-cell
+/// results in `cache` (when given). Results come back in cell order and
+/// are bit-identical for any worker *and* shard count.
+///
+/// The per-cell cache key is the grid formula over
+/// `(FARM_SEED, cell index, cell label)` — the label covers scenario,
+/// policy and mode, so a registry edit that moves cells around misses
+/// only the moved indices.
+///
+/// # Panics
+///
+/// Panics if any cell panicked, naming the cell.
+pub fn run_matrix_sharded(
+    cells: &[Cell],
+    workers: usize,
+    shards: usize,
+    cache: Option<rtsim_grid::CacheStore>,
+) -> MatrixRun {
+    let mut grid = rtsim_grid::Grid::new("farm", FARM_SEED)
+        .workers(workers)
+        .shards(shards);
+    grid = match cache {
+        Some(store) => grid.cache(store),
+        None => grid.no_cache(),
+    };
+    let report = grid.run(
+        cells.len(),
+        |index| cells[index].label(),
+        |ctx| run_cell(cells[ctx.index()]),
+    );
+    MatrixRun {
+        hits: report.hits(),
+        misses: report.misses(),
+        shards: report.shards.len(),
+        results: report.records,
+    }
+}
+
+/// Runs a set of cells on the deterministic pool: the historical farm
+/// entry point, now a grid sweep honouring the `RTSIM_GRID_SHARDS` and
+/// `RTSIM_GRID_CACHE` environment knobs (1 shard, no cache when unset).
 ///
 /// # Panics
 ///
 /// Panics if any cell panicked, naming the cell.
 pub fn run_matrix(cells: &[Cell], workers: usize) -> Vec<CellResult> {
-    let report = rtsim_campaign::Campaign::new("farm", 0)
-        .workers(workers)
-        .run(cells.len(), |ctx| run_cell(cells[ctx.index()]));
-    match report.into_values() {
-        Ok(results) => results,
-        Err((index, panic)) => panic!("farm cell {} failed: {panic}", cells[index].label()),
-    }
+    run_matrix_sharded(
+        cells,
+        workers,
+        rtsim_grid::shards_from_env(),
+        rtsim_grid::CacheStore::from_env(),
+    )
+    .results
 }
 
 #[cfg(test)]

@@ -17,9 +17,14 @@
 //! - [`campaign`] — deterministic parallel batch simulation: fan
 //!   independent runs (sweeps, Monte-Carlo trials, ablations) out over
 //!   a worker pool with bit-identical results for any `RTSIM_WORKERS`;
+//! - [`grid`] — campaign-of-campaigns over parameter grids: shard a
+//!   grid into independent campaigns (bit-identical merged results for
+//!   any `RTSIM_GRID_SHARDS`) with a content-addressed per-job result
+//!   cache (`RTSIM_GRID_CACHE`);
 //! - [`farm`] — the regression farm: golden-fingerprint sweeps of every
 //!   [`scenarios`] system across the whole scheduling-policy matrix,
-//!   checked against pinned goldens by the `rtsim-farm` binary.
+//!   checked against pinned goldens by the `rtsim-farm` binary and
+//!   sharded/cached by the `rtsim-grid` binary.
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -49,6 +54,7 @@
 
 pub use rtsim_campaign as campaign;
 pub use rtsim_farm as farm;
+pub use rtsim_grid as grid;
 pub use rtsim_farm::scenarios;
 pub use rtsim_comm as comm;
 pub use rtsim_core as core;
@@ -57,6 +63,7 @@ pub use rtsim_mcse as mcse;
 pub use rtsim_trace as trace;
 
 pub use rtsim_campaign::{Campaign, JobCtx, StatSummary};
+pub use rtsim_grid::{CacheStore, Grid, GridReport, Record};
 pub use rtsim_comm::{EventPolicy, LockMode, MessageQueue, Rendezvous, RtEvent, SharedVar};
 pub use rtsim_core::{
     assign_rate_monotonic, liu_layland_bound, response_time_analysis, schedulable,

@@ -90,7 +90,8 @@ fn round_robin_quantum_accounting_conserves_compute() {
 
 #[test]
 fn non_preemptive_mode_never_records_a_preemption() {
-    let policies: [(&str, fn() -> Box<dyn SchedulingPolicy>); 4] = [
+    type MakePolicy = fn() -> Box<dyn SchedulingPolicy>;
+    let policies: [(&str, MakePolicy); 4] = [
         ("priority", || Box::new(PriorityPreemptive::new())),
         ("fifo", || Box::new(Fifo::new())),
         ("edf", || Box::new(EarliestDeadlineFirst::new())),

@@ -65,4 +65,12 @@ echo "== hermetic check: regression farm goldens (smoke subset) =="
 # caught here too. Re-pin intentional changes with `rtsim-farm --bless`.
 RTSIM_BENCH_SMOKE=1 "$repo/target/release/rtsim-farm" --check
 
+echo "== hermetic check: grid cache round-trip (smoke subset) =="
+# Cold sweep into a scratch cache, then a warm sweep at a different
+# shard count: must be 100 % hits with byte-identical merged results.
+grid_cache="$(mktemp -d)"
+trap 'rm -rf "$grid_cache"' EXIT
+RTSIM_BENCH_SMOKE=1 RTSIM_GRID_CACHE="$grid_cache" \
+    "$repo/target/release/rtsim-grid" --check-cache
+
 echo "hermetic check PASSED"
