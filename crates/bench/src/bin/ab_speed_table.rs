@@ -12,7 +12,7 @@
 
 use rtsim::scenarios::ab_stress_system;
 use rtsim::EngineKind;
-use rtsim_bench::{fmt_wall, wall_time};
+use rtsim_bench::{fmt_wall, mean_wall, wall_samples, BenchReport};
 
 fn run_once(engine: EngineKind, tasks: usize, rounds: u64) -> u64 {
     let mut system = ab_stress_system(engine, tasks, rounds)
@@ -24,6 +24,7 @@ fn run_once(engine: EngineKind, tasks: usize, rounds: u64) -> u64 {
 
 fn main() {
     let runs = 3;
+    let mut report = BenchReport::new("ab_speed_table");
     println!("== §4: simulation duration, dedicated thread (A) vs procedure calls (B) ==\n");
     println!(
         "{:>6} {:>8} | {:>12} {:>12} {:>9} | {:>11} {:>11}",
@@ -38,12 +39,15 @@ fn main() {
         (16, 250),
         (32, 125),
     ] {
-        let wall_a = wall_time(runs, || {
+        let samples_a = wall_samples(runs, || {
             let _ = run_once(EngineKind::DedicatedThread, tasks, rounds);
         });
-        let wall_b = wall_time(runs, || {
+        let samples_b = wall_samples(runs, || {
             let _ = run_once(EngineKind::ProcedureCall, tasks, rounds);
         });
+        report.record_samples(&format!("dedicated_thread/{tasks}x{rounds}"), 1, &samples_a);
+        report.record_samples(&format!("procedure_call/{tasks}x{rounds}"), 1, &samples_b);
+        let (wall_a, wall_b) = (mean_wall(&samples_a), mean_wall(&samples_b));
         let sw_a = run_once(EngineKind::DedicatedThread, tasks, rounds);
         let sw_b = run_once(EngineKind::ProcedureCall, tasks, rounds);
         println!(
@@ -57,6 +61,7 @@ fn main() {
             sw_b
         );
     }
+    report.emit();
     println!("\n(speedup > 1 means the procedure-call model simulates faster,");
     println!("reproducing the optimization §4.2 of the paper reports)");
 }

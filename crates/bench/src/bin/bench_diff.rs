@@ -1,0 +1,192 @@
+//! `rtsim-bench-diff` — compares two bench-trajectory JSONL files.
+//!
+//! Loads a *base* and a *new* `bench-*.jsonl` artifact (as written
+//! under `RTSIM_BENCH_OUT`, schema `bench-v1`), matches cases by
+//! `group/id`, and reports the per-case median wall-time delta. With
+//! `--max-regress-pct <P>` any case whose median grew by more than `P`
+//! percent makes the exit status nonzero — the cross-PR regression
+//! gate (`tools/check_hermetic.sh` runs a self-diff in smoke mode, and
+//! perf PRs diff their trajectory against the previous PR's artifact).
+//!
+//! ```text
+//! usage: rtsim-bench-diff [--max-regress-pct <P>] <base.jsonl> <new.jsonl>
+//! ```
+//!
+//! Exit status: 0 on success (including "no threshold given"), 1 when
+//! the threshold is breached, 2 on usage/IO/parse errors. Cases present
+//! in only one file are listed but never trip the threshold — a renamed
+//! case is a review concern, not a perf regression.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use rtsim::campaign::json::Json;
+use rtsim_bench::{fmt_wall, BENCH_SCHEMA};
+
+/// One parsed trajectory case, keyed by `group/id`.
+struct Case {
+    median_ps: u64,
+    smoke: bool,
+    build: String,
+}
+
+/// Parses one trajectory file into `group/id → Case`, rejecting records
+/// that do not carry the pinned schema tag.
+fn load(path: &str) -> Result<BTreeMap<String, Case>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let mut cases = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Json::parse(line)
+            .map_err(|e| format!("{path}:{}: unparseable record: {e}", lineno + 1))?;
+        let schema = rec.get("schema").and_then(Json::as_str);
+        if schema != Some(BENCH_SCHEMA) {
+            return Err(format!(
+                "{path}:{}: schema {:?} is not {BENCH_SCHEMA:?} — wrong or stale artifact",
+                lineno + 1,
+                schema.unwrap_or("<missing>"),
+            ));
+        }
+        let field = |name: &str| {
+            rec.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{path}:{}: missing string {name:?}", lineno + 1))
+        };
+        let key = format!("{}/{}", field("group")?, field("id")?);
+        let median_ps = rec
+            .get("median_ps")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}:{}: missing median_ps", lineno + 1))?;
+        let case = Case {
+            median_ps,
+            smoke: rec.get("smoke").and_then(Json::as_bool).unwrap_or(false),
+            build: field("build")?,
+        };
+        if cases.insert(key.clone(), case).is_some() {
+            return Err(format!("{path}:{}: duplicate case {key:?}", lineno + 1));
+        }
+    }
+    Ok(cases)
+}
+
+fn ps_to_wall(ps: u64) -> String {
+    fmt_wall(std::time::Duration::from_nanos(ps / 1_000))
+}
+
+fn usage() -> String {
+    "usage: rtsim-bench-diff [--max-regress-pct <P>] <base.jsonl> <new.jsonl>".into()
+}
+
+fn run() -> Result<bool, String> {
+    let mut max_regress_pct: Option<f64> = None;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regress-pct" => {
+                let value = args.next().ok_or_else(usage)?;
+                max_regress_pct = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|p| p.is_finite() && *p >= 0.0)
+                        .ok_or(format!("--max-regress-pct {value:?} is not a percentage"))?,
+                );
+            }
+            "--help" | "-h" => return Err(usage()),
+            _ => files.push(arg),
+        }
+    }
+    let [base_path, new_path]: [String; 2] =
+        files.try_into().map_err(|_| usage())?;
+    let base = load(&base_path)?;
+    let new = load(&new_path)?;
+
+    // Comparing a smoke run against a full run (or different builds) is
+    // apples-to-oranges; say so, but still diff.
+    let mode = |cases: &BTreeMap<String, Case>| {
+        cases.values().next().map(|c| (c.smoke, c.build.clone()))
+    };
+    if let (Some(b), Some(n)) = (mode(&base), mode(&new)) {
+        if b != n {
+            eprintln!(
+                "warning: fingerprints differ (base smoke={} build={}; new smoke={} build={}) — deltas may reflect the environment, not the code",
+                b.0, b.1, n.0, n.1
+            );
+        }
+    }
+
+    println!(
+        "{:<52} {:>10} {:>10} {:>9}",
+        "case", "base", "new", "delta"
+    );
+    let mut compared = 0usize;
+    let mut breaches = Vec::new();
+    let mut worst_pct = 0.0f64;
+    for (key, b) in &base {
+        let Some(n) = new.get(key) else {
+            println!("{key:<52} {:>10} {:>10} {:>9}", ps_to_wall(b.median_ps), "-", "gone");
+            continue;
+        };
+        compared += 1;
+        // Percentage change of the median; a zero base with a nonzero
+        // new median is an unbounded regression (trips any threshold).
+        let pct = if b.median_ps == 0 {
+            if n.median_ps == 0 { 0.0 } else { f64::INFINITY }
+        } else {
+            (n.median_ps as f64 - b.median_ps as f64) / b.median_ps as f64 * 100.0
+        };
+        worst_pct = worst_pct.max(pct);
+        let breach = max_regress_pct.is_some_and(|limit| pct > limit);
+        println!(
+            "{key:<52} {:>10} {:>10} {:>+8.2}%{}",
+            ps_to_wall(b.median_ps),
+            ps_to_wall(n.median_ps),
+            pct,
+            if breach { "  REGRESSION" } else { "" },
+        );
+        if breach {
+            breaches.push(key.clone());
+        }
+    }
+    for key in new.keys().filter(|k| !base.contains_key(*k)) {
+        println!("{key:<52} {:>10} {:>10} {:>9}", "-", ps_to_wall(new[key].median_ps), "new");
+    }
+
+    println!(
+        "\n{compared} case(s) compared ({} only-in-base, {} only-in-new), worst median delta {:+.2}%",
+        base.len() - compared,
+        new.len() - compared,
+        worst_pct,
+    );
+    match max_regress_pct {
+        Some(limit) if !breaches.is_empty() => {
+            eprintln!(
+                "FAIL: {} case(s) regressed beyond {limit}%: {}",
+                breaches.len(),
+                breaches.join(", "),
+            );
+            Ok(false)
+        }
+        Some(limit) => {
+            println!("ok: no case regressed beyond {limit}%");
+            Ok(true)
+        }
+        None => Ok(true),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

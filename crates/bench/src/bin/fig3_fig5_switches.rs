@@ -14,6 +14,7 @@ use rtsim::{
     spawn_interrupt_at, EngineKind, OverheadKind, Overheads, Processor, ProcessorConfig,
     SimDuration, Simulator, TaskConfig, TraceRecorder, Waiter,
 };
+use rtsim_bench::{wall_samples, BenchReport};
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -57,8 +58,16 @@ fn main() {
     println!("workload: TaskN computing 400 us, T1 woken by 3 HW interrupts,");
     println!("all RTOS overheads 5 us (save / scheduling / load)\n");
 
+    let mut report = BenchReport::new("fig3_fig5_switches");
     let mut rows = Vec::new();
     for engine in [EngineKind::DedicatedThread, EngineKind::ProcedureCall] {
+        report.record_samples(
+            &format!("figure/{engine}"),
+            1,
+            &wall_samples(3, || {
+                let _ = run(engine);
+            }),
+        );
         let (switches, sched_runs, trace) = run(engine);
         // Tally the overhead decomposition of Figure 5.
         let mut save = 0u64;
@@ -105,6 +114,16 @@ fn main() {
     // Larger synthetic workload for a second data point.
     println!("== scheduling-heavy stress (8 tasks x 200 rounds) ==");
     for engine in [EngineKind::DedicatedThread, EngineKind::ProcedureCall] {
+        report.record_samples(
+            &format!("stress_8x200/{engine}"),
+            1,
+            &wall_samples(3, || {
+                let mut system =
+                    ab_stress_system(engine, 8, 200).elaborate().expect("model");
+                system.run().expect("run");
+                std::hint::black_box(system.kernel_stats());
+            }),
+        );
         let mut system = ab_stress_system(engine, 8, 200).elaborate().expect("model");
         system.run().expect("run");
         println!(
@@ -113,4 +132,5 @@ fn main() {
             system.kernel_stats().process_switches
         );
     }
+    report.emit();
 }

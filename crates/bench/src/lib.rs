@@ -15,10 +15,19 @@
 //! | `mpeg2_explore` | §5 closing case study — design-space exploration |
 //! | `rta_vs_sim` | extension — Monte-Carlo cross-validation against exact response-time analysis |
 //! | `server_ablation` | extension — polling-server budget/period trade-off |
+//! | `quantum_error` | extension — reaction-time error of clock-driven preemption baselines |
+//! | `rtsim-bench-diff` | tooling — diffs two `bench-*.jsonl` trajectories (see [`report`]) |
+//!
+//! Every binary (and every `BenchGroup` bench target) additionally
+//! emits a machine-readable `bench-<name>.jsonl` trajectory when
+//! `RTSIM_BENCH_OUT=<dir>` is set — see the [`report`] module.
 
 pub mod harness;
+pub mod report;
 
 use std::time::{Duration, Instant};
+
+pub use report::{BenchReport, CaseRecord, EnvFingerprint, BENCH_OUT_ENV, BENCH_SCHEMA};
 
 /// Wall-clock measurement of one closure, with a warm-up run.
 ///
@@ -30,6 +39,26 @@ pub fn wall_time<F: FnMut()>(runs: u32, mut f: F) -> Duration {
         f();
     }
     start.elapsed() / runs
+}
+
+/// Like [`wall_time`] but keeps the individual samples, so the caller
+/// can both print a mean and feed a [`BenchReport`] case with a real
+/// min/median/max distribution.
+pub fn wall_samples<F: FnMut()>(runs: u32, mut f: F) -> Vec<Duration> {
+    f(); // warm-up
+    (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect()
+}
+
+/// Mean of a non-empty sample set (for printing next to the recorded
+/// distribution).
+pub fn mean_wall(samples: &[Duration]) -> Duration {
+    samples.iter().sum::<Duration>() / samples.len() as u32
 }
 
 /// Formats a wall duration in adaptive units.
@@ -63,6 +92,14 @@ pub fn report_campaign<T>(cmp: &rtsim_campaign::Comparison<T>) {
     );
 }
 
+/// Records a campaign comparison's two wall times as trajectory cases
+/// `campaign/serial` and `campaign/parallel` — the pair whose ratio is
+/// the speedup the harness prints via [`report_campaign`].
+pub fn record_campaign<T>(report: &mut BenchReport, cmp: &rtsim_campaign::Comparison<T>) {
+    report.record_wall("campaign/serial", cmp.serial_wall);
+    report.record_wall("campaign/parallel", cmp.parallel_wall);
+}
+
 /// Prints the grid engine's shard/cache summary line for harnesses that
 /// run as a sharded, result-cached grid (see `rtsim_grid`).
 pub fn report_grid<T>(report: &rtsim_grid::GridReport<T>) {
@@ -79,6 +116,14 @@ pub fn report_grid<T>(report: &rtsim_grid::GridReport<T>) {
     );
 }
 
+/// Records a grid run's total wall as trajectory case `grid/total`.
+/// Per-job walls are *not* recorded here: under `RTSIM_GRID_CACHE` a
+/// warm job's wall is a cache probe, not a simulation — the harness
+/// decides which job walls are meaningful.
+pub fn record_grid<T>(report: &mut BenchReport, grid: &rtsim_grid::GridReport<T>) {
+    report.record_wall("grid/total", grid.wall);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +134,17 @@ mod tests {
             std::hint::black_box((0..1000).sum::<u64>());
         });
         assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn wall_samples_counts_and_means() {
+        let mut runs = 0u32;
+        let samples = wall_samples(3, || runs += 1);
+        assert_eq!(runs, 4); // warm-up + 3 samples
+        assert_eq!(samples.len(), 3);
+        let mean = mean_wall(&samples);
+        assert!(mean >= *samples.iter().min().unwrap());
+        assert!(mean <= *samples.iter().max().unwrap());
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Structured bench trajectories: the machine-readable counterpart of
+//! every harness's human-readable table.
+//!
+//! The paper's core evaluation is *relative* — approach A vs approach
+//! B, traced vs untraced — so what matters across PRs is whether those
+//! ratios drift. This module gives every bench target and harness
+//! binary one [`BenchReport`] that collects [`CaseRecord`]s (id, sample
+//! count, min/median/max wall picoseconds, batch iterations) plus an
+//! environment fingerprint (worker count, smoke flag, build tag), and
+//! emits them as `bench-<name>.jsonl` into the directory named by
+//! `RTSIM_BENCH_OUT` — rendered through the same hand-rolled
+//! [`rtsim_campaign::json`] writer the campaign artifacts use, so the
+//! bytes are deterministic for deterministic timings.
+//!
+//! Each JSONL line is self-contained and carries the pinned schema tag
+//! [`BENCH_SCHEMA`] (`bench-v1`):
+//!
+//! ```json
+//! {"schema":"bench-v1","group":"kernel","id":"timer_wheel/8",
+//!  "samples":10,"iters":1,"min_ps":1200000000,"median_ps":1240000000,
+//!  "max_ps":1310000000,"workers":8,"smoke":false,
+//!  "build":"rtsim-0.1.0+release"}
+//! ```
+//!
+//! Change any field's meaning ⇒ bump the tag. The `rtsim-bench-diff`
+//! binary loads two such trajectory files, matches cases by
+//! `group/id`, and reports per-case median deltas against a regression
+//! threshold — the cross-PR diffing loop the ROADMAP's
+//! "bench-trajectory JSON emission" item asks for.
+
+use std::time::Duration;
+
+use rtsim_campaign::json::Json;
+use rtsim_campaign::{smoke, workers_from_env, write_artifact_in};
+
+/// The pinned trajectory schema tag every record carries.
+pub const BENCH_SCHEMA: &str = "bench-v1";
+
+/// The environment variable naming the trajectory output directory.
+pub const BENCH_OUT_ENV: &str = "RTSIM_BENCH_OUT";
+
+/// The run environment stamped onto every record of a report, so a
+/// trajectory file is interpretable on its own: a smoke-mode run or a
+/// different worker count is never mistaken for a real regression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// Worker-pool width (`RTSIM_WORKERS` or machine parallelism).
+    pub workers: usize,
+    /// Whether `RTSIM_BENCH_SMOKE` shrank the workload.
+    pub smoke: bool,
+    /// Build tag: crate version + profile. Deliberately git-describe
+    /// free — the tag must be computable offline in a bare export.
+    pub build: String,
+}
+
+impl EnvFingerprint {
+    /// Captures the current process environment.
+    pub fn capture() -> Self {
+        EnvFingerprint {
+            workers: workers_from_env(),
+            smoke: smoke(),
+            build: format!(
+                "rtsim-{}+{}",
+                env!("CARGO_PKG_VERSION"),
+                if cfg!(debug_assertions) { "debug" } else { "release" },
+            ),
+        }
+    }
+}
+
+/// One measured case: the wall-time distribution of `samples` timed
+/// executions (each of `iters` calls when batched).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseRecord {
+    /// Case id, unique within its group (e.g. `timer_wheel/8`).
+    pub id: String,
+    /// Number of timed samples taken.
+    pub samples: u32,
+    /// Calls per sample (1 unless batched).
+    pub iters: u32,
+    /// Fastest sample, wall picoseconds.
+    pub min_ps: u64,
+    /// Median sample, wall picoseconds — the interpolated median for
+    /// even sample counts (mean of the two middle samples).
+    pub median_ps: u64,
+    /// Slowest sample, wall picoseconds.
+    pub max_ps: u64,
+}
+
+impl CaseRecord {
+    /// Summarizes raw wall-time samples (need not be sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty — a case with no samples is a harness
+    /// bug, not a data point.
+    pub fn from_samples(id: &str, iters: u32, times: &[Duration]) -> Self {
+        assert!(!times.is_empty(), "case {id:?} has no samples");
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        let (min, median, max) = summarize_sorted(&sorted);
+        CaseRecord {
+            id: id.to_owned(),
+            samples: times.len() as u32,
+            iters: iters.max(1),
+            min_ps: duration_ps(min),
+            median_ps: duration_ps(median),
+            max_ps: duration_ps(max),
+        }
+    }
+
+    /// The record as a JSON object, stamped with `group` and `env`.
+    fn to_json(&self, group: &str, env: &EnvFingerprint) -> Json {
+        Json::obj([
+            ("schema", Json::from(BENCH_SCHEMA)),
+            ("group", Json::from(group)),
+            ("id", Json::from(self.id.as_str())),
+            ("samples", Json::from(u64::from(self.samples))),
+            ("iters", Json::from(u64::from(self.iters))),
+            ("min_ps", Json::from(self.min_ps)),
+            ("median_ps", Json::from(self.median_ps)),
+            ("max_ps", Json::from(self.max_ps)),
+            ("workers", Json::from(env.workers)),
+            ("smoke", Json::from(env.smoke)),
+            ("build", Json::from(env.build.as_str())),
+        ])
+    }
+}
+
+/// (min, median, max) of sorted samples; the median interpolates the
+/// two middle samples for even counts (the lower-median convention the
+/// harness once used silently picked the *upper* middle sample).
+pub(crate) fn summarize_sorted(sorted: &[Duration]) -> (Duration, Duration, Duration) {
+    let n = sorted.len();
+    assert!(n > 0, "summarize of zero samples");
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    (sorted[0], median, sorted[n - 1])
+}
+
+/// Wall picoseconds of a duration, saturating at `u64::MAX` (~213 days
+/// — no bench sample gets there).
+fn duration_ps(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos().saturating_mul(1_000)).unwrap_or(u64::MAX)
+}
+
+/// A named collection of case records plus the environment fingerprint,
+/// emitted as one `bench-<name>.jsonl` trajectory artifact.
+///
+/// [`crate::harness::BenchGroup`] owns one and feeds it automatically;
+/// the table-printing harness binaries build one by hand around their
+/// timed sections and call [`emit`](Self::emit) before exiting.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    env: EnvFingerprint,
+    cases: Vec<CaseRecord>,
+}
+
+impl BenchReport {
+    /// Creates an empty report; the artifact file will be
+    /// `bench-<name>.jsonl`.
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_owned(),
+            env: EnvFingerprint::capture(),
+            cases: Vec::new(),
+        }
+    }
+
+    /// The report (and artifact) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one finished case.
+    pub fn record(&mut self, case: CaseRecord) {
+        self.cases.push(case);
+    }
+
+    /// Convenience: summarize raw samples and record them as one case.
+    pub fn record_samples(&mut self, id: &str, iters: u32, times: &[Duration]) {
+        self.record(CaseRecord::from_samples(id, iters, times));
+    }
+
+    /// Records a single-measurement case (one sample; min = median =
+    /// max) — for wall times that exist only once, like a campaign's
+    /// serial-vs-parallel comparison walls or a grid's per-job walls.
+    pub fn record_wall(&mut self, id: &str, wall: Duration) {
+        self.record_samples(id, 1, &[wall]);
+    }
+
+    /// Cases recorded so far.
+    pub fn cases(&self) -> &[CaseRecord] {
+        &self.cases
+    }
+
+    /// Renders the trajectory as JSON Lines, one self-contained record
+    /// per case, every line carrying the [`BENCH_SCHEMA`] tag.
+    pub fn to_jsonl(&self) -> String {
+        let records: Vec<Json> = self
+            .cases
+            .iter()
+            .map(|c| c.to_json(&self.name, &self.env))
+            .collect();
+        rtsim_campaign::json::to_jsonl(&records)
+    }
+
+    /// Writes `bench-<name>.jsonl` into the directory named by
+    /// `RTSIM_BENCH_OUT` (no-op when unset or when no case was
+    /// recorded).
+    pub fn emit(&self) {
+        write_artifact_in(
+            BENCH_OUT_ENV,
+            &format!("bench-{}.jsonl", self.name),
+            &self.to_jsonl(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn odd_count_median_is_middle_sample() {
+        let c = CaseRecord::from_samples("odd", 1, &[ms(3), ms(1), ms(2)]);
+        assert_eq!(c.samples, 3);
+        assert_eq!(c.min_ps, 1_000_000_000);
+        assert_eq!(c.median_ps, 2_000_000_000);
+        assert_eq!(c.max_ps, 3_000_000_000);
+    }
+
+    #[test]
+    fn even_count_median_interpolates_the_middle_pair() {
+        // Regression: `times[len/2]` picked 30 ms (the upper median);
+        // the interpolated median of {10, 20, 30, 40} is 25 ms.
+        let c = CaseRecord::from_samples("even", 1, &[ms(40), ms(10), ms(30), ms(20)]);
+        assert_eq!(c.median_ps, 25_000_000_000);
+        assert_eq!(c.min_ps, 10_000_000_000);
+        assert_eq!(c.max_ps, 40_000_000_000);
+    }
+
+    #[test]
+    fn single_sample_min_median_max_coincide() {
+        let c = CaseRecord::from_samples("one", 1, &[ms(7)]);
+        assert_eq!(c.samples, 1);
+        assert_eq!((c.min_ps, c.median_ps, c.max_ps), (
+            7_000_000_000,
+            7_000_000_000,
+            7_000_000_000,
+        ));
+    }
+
+    #[test]
+    fn jsonl_lines_carry_schema_and_parse_back() {
+        let mut report = BenchReport::new("unit");
+        report.record_samples("fast \"case\"/β", 4, &[ms(1), ms(2)]);
+        report.record_wall("wall", ms(3));
+        let jsonl = report.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            let v = Json::parse(line).expect("parseable record");
+            assert_eq!(v.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+            assert_eq!(v.get("group").and_then(Json::as_str), Some("unit"));
+            assert!(v.get("median_ps").and_then(Json::as_u64).is_some());
+            assert!(v.get("build").and_then(Json::as_str).is_some());
+            assert!(v.get("smoke").and_then(Json::as_bool).is_some());
+        }
+        // The escaped case id round-trips through the JSON layer.
+        let first = Json::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first.get("id").and_then(Json::as_str),
+            Some("fast \"case\"/β")
+        );
+        assert_eq!(first.get("iters").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_sample_set_panics() {
+        let _ = CaseRecord::from_samples("none", 1, &[]);
+    }
+}

@@ -15,6 +15,7 @@ fn run_smoke(bin: &str) -> String {
         .env("RTSIM_WORKERS", "2")
         .env_remove("RTSIM_GRID_SHARDS")
         .env_remove("RTSIM_GRID_CACHE")
+        .env_remove("RTSIM_BENCH_OUT")
         .output()
         .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
     assert!(

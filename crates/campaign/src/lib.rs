@@ -53,9 +53,12 @@ pub mod json;
 mod pool;
 mod stats;
 
-pub use artifacts::{scaled, smoke, write_artifact, write_campaign_outputs};
+pub use artifacts::{
+    env_flag, env_usize, scaled, smoke, write_artifact, write_artifact_in,
+    write_campaign_outputs,
+};
 pub use hash::Fnv1a;
 pub use pool::{
     workers_from_env, Campaign, Comparison, JobCtx, JobOutcome, JobPanic, Progress, Report,
 };
-pub use stats::{Histogram, StatSummary};
+pub use stats::{nearest_rank_index, Histogram, StatSummary};

@@ -7,7 +7,6 @@
 //! them by job index — arrival order (nondeterministic) never leaks into
 //! the report.
 
-use std::env;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -108,10 +107,10 @@ pub struct Progress {
 ///
 /// An explicit `RTSIM_WORKERS=0` means 1 (serial): a value the user set
 /// on purpose must never silently fall back to machine parallelism.
+/// Parsing goes through [`crate::env_usize`]: the value is trimmed and
+/// an unrecognizable one warns on stderr before falling back.
 pub fn workers_from_env() -> usize {
-    env::var("RTSIM_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    crate::env_usize("RTSIM_WORKERS")
         .map(|n| n.max(1))
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
 }
@@ -198,10 +197,10 @@ impl Campaign {
     }
 
     /// Reports progress on stderr (overwriting one line, ~20 updates per
-    /// campaign) when `RTSIM_PROGRESS=1` is set.
+    /// campaign) when `RTSIM_PROGRESS=1` (or `true`/`yes`) is set.
     #[must_use]
     pub fn progress_from_env(self) -> Self {
-        if env::var("RTSIM_PROGRESS").as_deref() != Ok("1") {
+        if crate::env_flag("RTSIM_PROGRESS") != Some(true) {
             return self;
         }
         let name = self.name.clone();
@@ -497,7 +496,11 @@ mod tests {
         // fallback (which would make the setting silently surprising).
         std::env::set_var("RTSIM_WORKERS", "0");
         assert_eq!(workers_from_env(), 1);
-        // Garbage is not an explicit count: machine fallback applies.
+        // Whitespace around an explicit count is tolerated.
+        std::env::set_var("RTSIM_WORKERS", " 4\n");
+        assert_eq!(workers_from_env(), 4);
+        // Garbage is not an explicit count: machine fallback applies
+        // (after a one-time stderr warning from env_usize).
         std::env::set_var("RTSIM_WORKERS", "lots");
         assert!(workers_from_env() >= 1);
         std::env::remove_var("RTSIM_WORKERS");

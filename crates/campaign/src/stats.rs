@@ -72,10 +72,29 @@ impl StatSummary {
 }
 
 /// Index of the nearest-rank `q_num/q_den` quantile among `count` sorted
-/// samples, computed in `u128` so `q_num * count` cannot overflow even
-/// for counts near `usize::MAX` (on 64-bit, `95 * count` overflows for
-/// counts beyond `usize::MAX / 95`).
-fn nearest_rank_index(q_num: u64, q_den: u64, count: usize) -> usize {
+/// samples: `ceil(q * count) - 1`, clamped to `0..count`.
+///
+/// This is the **single** nearest-rank implementation in the workspace —
+/// `StatSummary` (here) and `rtsim_trace::DurationSummary` both rank
+/// through it, so the two summaries can never drift apart again (they
+/// once carried subtly different copies of this formula). Computed in
+/// `u128` so `q_num * count` cannot overflow even for counts near
+/// `usize::MAX` (on 64-bit, `95 * count` overflows for counts beyond
+/// `usize::MAX / 95`).
+///
+/// By construction `p0` is index 0 (the minimum), `p50` the *lower*
+/// median, and `p100` index `count - 1` (the maximum) — property-tested
+/// below.
+///
+/// # Examples
+///
+/// ```
+/// use rtsim_campaign::nearest_rank_index;
+///
+/// assert_eq!(nearest_rank_index(1, 2, 10), 4); // lower median
+/// assert_eq!(nearest_rank_index(95, 100, 100), 94);
+/// ```
+pub fn nearest_rank_index(q_num: u64, q_den: u64, count: usize) -> usize {
     let idx = (u128::from(q_num) * count as u128)
         .div_ceil(u128::from(q_den))
         .saturating_sub(1);
@@ -248,6 +267,48 @@ mod tests {
         assert_eq!(nearest_rank_index(1, 2, 100), 49);
         assert_eq!(nearest_rank_index(95, 100, 100), 94);
         assert_eq!(nearest_rank_index(95, 100, 1), 0);
+    }
+
+    /// The anchor identities of the shared rank formula: on any sorted
+    /// input, p0 is the minimum, p50 the lower median, p100 the maximum.
+    #[test]
+    fn nearest_rank_anchors_hold_for_all_counts() {
+        use rtsim_kernel::testutil::check;
+        check(
+            128,
+            |rng| {
+                let count = rng.gen_range(1usize..500);
+                let mut values =
+                    rng.gen_vec(count..count + 1, |r| r.gen_range(0u64..1_000) as f64);
+                values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                values
+            },
+            |sorted| {
+                let n = sorted.len();
+                // p0 = min, p100 = max, exactly.
+                assert_eq!(nearest_rank_index(0, 100, n), 0);
+                assert_eq!(nearest_rank_index(100, 100, n), n - 1);
+                // p50 = lower median: index ceil(n/2) - 1.
+                assert_eq!(nearest_rank_index(50, 100, n), n.div_ceil(2) - 1);
+                // 1/2 and 50/100 must agree (same quantile, different form).
+                assert_eq!(
+                    nearest_rank_index(1, 2, n),
+                    nearest_rank_index(50, 100, n)
+                );
+                // Via the summary: the selected samples are min/median/max.
+                let s = StatSummary::from_values(sorted.iter().copied()).unwrap();
+                assert_eq!(s.min, sorted[0]);
+                assert_eq!(s.max, sorted[n - 1]);
+                assert_eq!(s.median, sorted[n.div_ceil(2) - 1]);
+                // Monotonicity across the whole percentile range.
+                let mut last = 0usize;
+                for p in 0..=100u64 {
+                    let idx = nearest_rank_index(p, 100, n);
+                    assert!(idx >= last && idx < n);
+                    last = idx;
+                }
+            },
+        );
     }
 
     #[test]

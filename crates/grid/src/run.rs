@@ -9,11 +9,10 @@ use crate::cache::{job_key, CacheStore};
 use crate::record::Record;
 
 /// Reads the shard count from `RTSIM_GRID_SHARDS`, defaulting to 1 (one
-/// campaign, no splitting). `0` means 1, like `RTSIM_WORKERS`.
+/// campaign, no splitting). `0` means 1, like `RTSIM_WORKERS`; parsing
+/// shares [`rtsim_campaign::env_usize`] (trimmed, warns on garbage).
 pub fn shards_from_env() -> usize {
-    std::env::var("RTSIM_GRID_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    rtsim_campaign::env_usize("RTSIM_GRID_SHARDS")
         .map(|n| n.max(1))
         .unwrap_or(1)
 }

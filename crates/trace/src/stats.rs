@@ -302,10 +302,11 @@ impl DurationSummary {
         sorted.sort_unstable();
         let count = sorted.len();
         let total_ps: u128 = sorted.iter().map(|d| u128::from(d.as_ps())).sum();
-        let rank = |q_num: usize, q_den: usize| -> SimDuration {
-            // Nearest-rank percentile: ceil(q * n) - 1, clamped.
-            let idx = (q_num * count).div_ceil(q_den).saturating_sub(1);
-            sorted[idx.min(count - 1)]
+        // The workspace-wide nearest-rank formula (ceil(q*n) - 1,
+        // clamped, overflow-safe) — shared with `StatSummary` so the
+        // two summaries can never disagree on what "p95" means.
+        let rank = |q_num: u64, q_den: u64| -> SimDuration {
+            sorted[rtsim_campaign::nearest_rank_index(q_num, q_den, count)]
         };
         Some(DurationSummary {
             count,
@@ -539,6 +540,26 @@ mod tests {
         assert_eq!(s.min, s.max);
         assert_eq!(s.median, SimDuration::from_ns(7));
         assert_eq!(s.p95, SimDuration::from_ns(7));
+    }
+
+    /// Both summary types rank through the one shared nearest-rank
+    /// implementation, so median/p95 must agree between them on the
+    /// same samples — for every count, including the even-count case
+    /// whose two formulas once drifted.
+    #[test]
+    fn duration_summary_agrees_with_campaign_summary() {
+        use rtsim_campaign::StatSummary;
+        for count in 1..=32u64 {
+            let durations: Vec<SimDuration> =
+                (0..count).map(|k| SimDuration::from_us(3 * k + 1)).collect();
+            let floats = durations.iter().map(|d| d.as_ps() as f64);
+            let ours = DurationSummary::from_durations(durations.clone()).unwrap();
+            let theirs = StatSummary::from_values(floats).unwrap();
+            assert_eq!(ours.median.as_ps() as f64, theirs.median, "count {count}");
+            assert_eq!(ours.p95.as_ps() as f64, theirs.p95, "count {count}");
+            assert_eq!(ours.min.as_ps() as f64, theirs.min, "count {count}");
+            assert_eq!(ours.max.as_ps() as f64, theirs.max, "count {count}");
+        }
     }
 
     #[test]

@@ -69,8 +69,29 @@ echo "== hermetic check: grid cache round-trip (smoke subset) =="
 # Cold sweep into a scratch cache, then a warm sweep at a different
 # shard count: must be 100 % hits with byte-identical merged results.
 grid_cache="$(mktemp -d)"
-trap 'rm -rf "$grid_cache"' EXIT
+bench_out="$(mktemp -d)"
+trap 'rm -rf "$grid_cache" "$bench_out"' EXIT
 RTSIM_BENCH_SMOKE=1 RTSIM_GRID_CACHE="$grid_cache" \
     "$repo/target/release/rtsim-grid" --check-cache
+
+echo "== hermetic check: bench trajectory emission + self-diff =="
+# One smoke bench run must write a non-empty, parseable bench-v1
+# trajectory, and rtsim-bench-diff against itself must report zero
+# deltas (a zero-tolerance threshold: any nonzero delta fails).
+RTSIM_BENCH_SMOKE=1 RTSIM_BENCH_OUT="$bench_out" \
+    "$repo/target/release/fig6_timeline" > /dev/null
+trajectory="$bench_out/bench-fig6_timeline.jsonl"
+if [ ! -s "$trajectory" ]; then
+    echo "FAIL: smoke bench wrote no trajectory at $trajectory" >&2
+    exit 1
+fi
+if ! grep -q '"schema":"bench-v1"' "$trajectory"; then
+    echo "FAIL: trajectory records lack the bench-v1 schema tag" >&2
+    exit 1
+fi
+# The self-diff doubles as the parse check: rtsim-bench-diff loads and
+# validates every record of both inputs before comparing.
+"$repo/target/release/rtsim-bench-diff" --max-regress-pct 0 \
+    "$trajectory" "$trajectory"
 
 echo "hermetic check PASSED"
