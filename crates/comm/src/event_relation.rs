@@ -51,6 +51,19 @@ struct EvState {
     waiters: VecDeque<Waiter>,
 }
 
+/// Outcome of one [`RtEvent::wait_attempt`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvWait {
+    /// A token was consumed; the wait is over.
+    Ready,
+    /// The agent's waiter was registered; suspend and (for memorized
+    /// policies) attempt again, or (fugitive) finish after the wake.
+    Registered {
+        /// Whether the event is fugitive — the wake itself is the signal.
+        fugitive: bool,
+    },
+}
+
 /// A synchronization event between MCSE functions, usable across
 /// processors and between hardware and software.
 ///
@@ -155,48 +168,60 @@ impl RtEvent {
         }
     }
 
+    /// Non-blocking step of [`wait`](RtEvent::wait). On
+    /// [`EvWait::Registered`] the caller must suspend; after the wake, a
+    /// fugitive wait completes via
+    /// [`finish_fugitive_wait`](RtEvent::finish_fugitive_wait) (the wake
+    /// *is* the signal), while memorized policies must attempt again —
+    /// another task may have consumed the token between the wake and the
+    /// dispatch. Used directly by the segment-mode script interpreter.
+    pub fn wait_attempt(&self, agent: &mut dyn Agent) -> EvWait {
+        let mut st = self.state.lock();
+        match st.policy {
+            EventPolicy::Fugitive => {
+                st.waiters.push_back(agent.waiter());
+                EvWait::Registered { fugitive: true }
+            }
+            EventPolicy::Boolean | EventPolicy::Counter => {
+                if st.tokens > 0 {
+                    st.tokens -= 1;
+                    drop(st);
+                    self.recorder.comm(
+                        agent.trace_actor(),
+                        agent.now(),
+                        self.actor,
+                        CommKind::Read,
+                    );
+                    EvWait::Ready
+                } else {
+                    st.waiters.push_back(agent.waiter());
+                    EvWait::Registered { fugitive: false }
+                }
+            }
+        }
+    }
+
+    /// Completes a fugitive wait after the wake: records the consumption.
+    pub fn finish_fugitive_wait(&self, agent: &mut dyn Agent) {
+        self.recorder
+            .comm(agent.trace_actor(), agent.now(), self.actor, CommKind::Read);
+    }
+
     /// Blocks `agent` until the event is signalled (consuming one token
     /// for memorized policies). Returns immediately if a token is already
     /// memorized.
     pub fn wait(&self, agent: &mut dyn Agent) {
         loop {
-            let fugitive = {
-                let mut st = self.state.lock();
-                match st.policy {
-                    EventPolicy::Fugitive => {
-                        st.waiters.push_back(agent.waiter());
-                        true
-                    }
-                    EventPolicy::Boolean | EventPolicy::Counter => {
-                        if st.tokens > 0 {
-                            st.tokens -= 1;
-                            drop(st);
-                            self.recorder.comm(
-                                agent.trace_actor(),
-                                agent.now(),
-                                self.actor,
-                                CommKind::Read,
-                            );
-                            return;
-                        }
-                        st.waiters.push_back(agent.waiter());
-                        false
+            match self.wait_attempt(agent) {
+                EvWait::Ready => return,
+                EvWait::Registered { fugitive } => {
+                    agent.suspend(false);
+                    if fugitive {
+                        self.finish_fugitive_wait(agent);
+                        return;
                     }
                 }
-            };
-            agent.suspend(false);
-            if fugitive {
-                // For a fugitive event the wake *is* the signal.
-                self.recorder.comm(
-                    agent.trace_actor(),
-                    agent.now(),
-                    self.actor,
-                    CommKind::Read,
-                );
-                return;
             }
-            // Memorized policies re-check: another task may have consumed
-            // the token between the wake and our dispatch.
         }
     }
 

@@ -124,66 +124,88 @@ impl<T: Send> MessageQueue<T> {
         self.len() == 0
     }
 
+    /// Non-blocking step of [`write`](MessageQueue::write): appends the
+    /// message, or — on a full queue — registers the agent's waiter (the
+    /// next read will wake it) and hands the message back. The caller
+    /// must then suspend and retry. Used directly by the segment-mode
+    /// script interpreter; [`write`](MessageQueue::write) is the blocking
+    /// wrapper.
+    pub fn write_attempt(&self, agent: &mut dyn Agent, message: T) -> Result<(), T> {
+        let wake = {
+            let mut st = self.state.lock();
+            if st.buffer.len() < st.capacity {
+                st.buffer.push_back(message);
+                let depth = st.buffer.len();
+                let cap = st.capacity;
+                let reader = st.readers.pop_front();
+                drop(st);
+                let now = agent.now();
+                self.recorder
+                    .comm(agent.trace_actor(), now, self.actor, CommKind::Write);
+                self.recorder.queue_depth(self.actor, now, depth, cap);
+                reader
+            } else {
+                st.writers.push_back(agent.waiter());
+                return Err(message);
+            }
+        };
+        if let Some(w) = wake {
+            w.wake(agent.kernel());
+        }
+        Ok(())
+    }
+
     /// Appends `message`, blocking while the queue is full.
     pub fn write(&self, agent: &mut dyn Agent, message: T) {
-        let mut message = Some(message);
+        let mut message = message;
         loop {
-            let wake = {
-                let mut st = self.state.lock();
-                if st.buffer.len() < st.capacity {
-                    st.buffer.push_back(message.take().expect("message present"));
+            match self.write_attempt(agent, message) {
+                Ok(()) => return,
+                Err(m) => {
+                    message = m;
+                    agent.suspend(false);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking step of [`read`](MessageQueue::read): removes the
+    /// oldest message, or — on an empty queue — registers the agent's
+    /// waiter and returns `None`; the caller must suspend and retry.
+    pub fn read_attempt(&self, agent: &mut dyn Agent) -> Option<T> {
+        let (message, wake) = {
+            let mut st = self.state.lock();
+            match st.buffer.pop_front() {
+                Some(m) => {
                     let depth = st.buffer.len();
                     let cap = st.capacity;
-                    let reader = st.readers.pop_front();
+                    let writer = st.writers.pop_front();
                     drop(st);
                     let now = agent.now();
                     self.recorder
-                        .comm(agent.trace_actor(), now, self.actor, CommKind::Write);
+                        .comm(agent.trace_actor(), now, self.actor, CommKind::Read);
                     self.recorder.queue_depth(self.actor, now, depth, cap);
-                    reader
-                } else {
-                    st.writers.push_back(agent.waiter());
-                    drop(st);
-                    agent.suspend(false);
-                    continue;
+                    (m, writer)
                 }
-            };
-            if let Some(w) = wake {
-                w.wake(agent.kernel());
+                None => {
+                    st.readers.push_back(agent.waiter());
+                    return None;
+                }
             }
-            return;
+        };
+        if let Some(w) = wake {
+            w.wake(agent.kernel());
         }
+        Some(message)
     }
 
     /// Removes the oldest message, blocking while the queue is empty.
     pub fn read(&self, agent: &mut dyn Agent) -> T {
         loop {
-            let (message, wake) = {
-                let mut st = self.state.lock();
-                match st.buffer.pop_front() {
-                    Some(m) => {
-                        let depth = st.buffer.len();
-                        let cap = st.capacity;
-                        let writer = st.writers.pop_front();
-                        drop(st);
-                        let now = agent.now();
-                        self.recorder
-                            .comm(agent.trace_actor(), now, self.actor, CommKind::Read);
-                        self.recorder.queue_depth(self.actor, now, depth, cap);
-                        (m, writer)
-                    }
-                    None => {
-                        st.readers.push_back(agent.waiter());
-                        drop(st);
-                        agent.suspend(false);
-                        continue;
-                    }
-                }
-            };
-            if let Some(w) = wake {
-                w.wake(agent.kernel());
+            match self.read_attempt(agent) {
+                Some(m) => return m,
+                None => agent.suspend(false),
             }
-            return message;
         }
     }
 

@@ -66,6 +66,19 @@ struct VState<T> {
     waiters: VecDeque<Waiter>,
 }
 
+/// What the caller must do after
+/// [`SharedVar::release_attempt`] — the mode-dependent scheduling action
+/// that may yield the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseFollowup {
+    /// Nothing to do.
+    None,
+    /// Leave the critical region (`unlock_preemption`).
+    UnlockPreemption,
+    /// Force a scheduling decision (`reschedule`).
+    Reschedule,
+}
+
 /// A shared variable with mutual exclusion, connecting MCSE functions.
 ///
 /// Cloning yields another handle to the same variable.
@@ -151,48 +164,60 @@ impl<T: Clone + Send> SharedVar<T> {
         self.mode
     }
 
+    /// Non-blocking acquisition attempt: takes the lock (applying the
+    /// ceiling boost, the held record and the preemption mask) and
+    /// returns `true`, or registers the agent's waiter (applying the
+    /// inheritance boost) and returns `false` — the caller must then
+    /// suspend in the waiting-for-resource state and retry. Used directly
+    /// by the segment-mode script interpreter.
+    pub fn acquire_attempt(&self, agent: &mut dyn Agent) -> bool {
+        {
+            let mut st = self.state.lock();
+            if !st.held {
+                st.held = true;
+                if let Waiter::Task(handle) = agent.waiter() {
+                    st.owner_base_priority = Some(handle.priority());
+                    // Immediate priority ceiling: boost for the whole
+                    // critical section, before any contender appears.
+                    if let LockMode::PriorityCeiling(ceiling) = self.mode {
+                        if ceiling > handle.priority() {
+                            handle.set_priority(ceiling);
+                        }
+                    }
+                    st.owner = Some(handle);
+                }
+                drop(st);
+                self.recorder.resource_held(self.actor, agent.now(), true);
+                if self.mode == LockMode::PreemptionMasked {
+                    agent.lock_preemption();
+                }
+                return true;
+            }
+            // Priority inheritance: boost the owner if we outrank it.
+            if self.mode == LockMode::PriorityInheritance {
+                if let (Some(owner), Waiter::Task(me)) = (&st.owner, agent.waiter()) {
+                    if me.priority() > owner.priority() {
+                        owner.set_priority(me.priority());
+                    }
+                }
+            }
+            st.waiters.push_back(agent.waiter());
+        }
+        false
+    }
+
     /// Acquires the lock, blocking in the waiting-for-resource state if
     /// another agent holds it.
     fn acquire(&self, agent: &mut dyn Agent) {
-        loop {
-            {
-                let mut st = self.state.lock();
-                if !st.held {
-                    st.held = true;
-                    if let Waiter::Task(handle) = agent.waiter() {
-                        st.owner_base_priority = Some(handle.priority());
-                        // Immediate priority ceiling: boost for the whole
-                        // critical section, before any contender appears.
-                        if let LockMode::PriorityCeiling(ceiling) = self.mode {
-                            if ceiling > handle.priority() {
-                                handle.set_priority(ceiling);
-                            }
-                        }
-                        st.owner = Some(handle);
-                    }
-                    drop(st);
-                    self.recorder.resource_held(self.actor, agent.now(), true);
-                    if self.mode == LockMode::PreemptionMasked {
-                        agent.lock_preemption();
-                    }
-                    return;
-                }
-                // Priority inheritance: boost the owner if we outrank it.
-                if self.mode == LockMode::PriorityInheritance {
-                    if let (Some(owner), Waiter::Task(me)) = (&st.owner, agent.waiter()) {
-                        if me.priority() > owner.priority() {
-                            owner.set_priority(me.priority());
-                        }
-                    }
-                }
-                st.waiters.push_back(agent.waiter());
-            }
+        while !self.acquire_attempt(agent) {
             agent.suspend(true);
         }
     }
 
-    /// Releases the lock and wakes the next waiter.
-    fn release(&self, agent: &mut dyn Agent) {
+    /// Non-blocking release: frees the lock, restores the owner's base
+    /// priority, wakes the next waiter, and reports the mode's follow-up
+    /// action — which the caller must perform (it may yield the CPU).
+    pub fn release_attempt(&self, agent: &mut dyn Agent) -> ReleaseFollowup {
         let next = {
             let mut st = self.state.lock();
             debug_assert!(st.held, "release of a free shared variable");
@@ -215,18 +240,44 @@ impl<T: Clone + Send> SharedVar<T> {
             w.wake(agent.kernel());
         }
         match self.mode {
-            LockMode::PreemptionMasked => {
-                // Leaving the critical region may preempt us on the spot
-                // if the woken waiter outranks us.
-                agent.unlock_preemption();
-            }
-            LockMode::PriorityCeiling(_) => {
-                // The caller just dropped back to its base priority: a
-                // ready task it was shielding may now outrank it.
-                agent.reschedule();
-            }
-            LockMode::Plain | LockMode::PriorityInheritance => {}
+            // Leaving the critical region may preempt the caller on the
+            // spot if the woken waiter outranks it.
+            LockMode::PreemptionMasked => ReleaseFollowup::UnlockPreemption,
+            // The caller just dropped back to its base priority: a ready
+            // task it was shielding may now outrank it.
+            LockMode::PriorityCeiling(_) => ReleaseFollowup::Reschedule,
+            LockMode::Plain | LockMode::PriorityInheritance => ReleaseFollowup::None,
         }
+    }
+
+    /// Releases the lock and wakes the next waiter.
+    fn release(&self, agent: &mut dyn Agent) {
+        match self.release_attempt(agent) {
+            ReleaseFollowup::UnlockPreemption => agent.unlock_preemption(),
+            ReleaseFollowup::Reschedule => agent.reschedule(),
+            ReleaseFollowup::None => {}
+        }
+    }
+
+    /// Clones the value. Meaningful only while the caller holds the model
+    /// lock (between a successful
+    /// [`acquire_attempt`](SharedVar::acquire_attempt) and the release) —
+    /// interpreter plumbing for the segment execution mode.
+    pub fn locked_get(&self) -> T {
+        self.state.lock().value.clone()
+    }
+
+    /// Stores a value. Same locking contract as
+    /// [`locked_get`](SharedVar::locked_get).
+    pub fn locked_set(&self, value: T) {
+        self.state.lock().value = value;
+    }
+
+    /// Records a completed access (the `CommKind::Read`/`Write` record
+    /// the blocking wrappers emit after release) — interpreter plumbing.
+    pub fn record_access(&self, agent: &mut dyn Agent, kind: CommKind) {
+        self.recorder
+            .comm(agent.trace_actor(), agent.now(), self.actor, kind);
     }
 
     /// Runs `body` with the lock held, giving it the agent and the value.

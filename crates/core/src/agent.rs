@@ -16,7 +16,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use rtsim_kernel::{Event, ProcessContext, SimDuration, SimTime, Simulator};
+use rtsim_kernel::{Event, KernelHandle, ProcessContext, SimDuration, SimTime, Simulator};
 use rtsim_trace::{ActorId, ActorKind, TaskState, TraceRecorder};
 
 use crate::processor::{TaskCtx, TaskHandle};
@@ -36,11 +36,12 @@ pub enum Waiter {
 
 impl Waiter {
     /// Wakes the agent. Must be called from within a simulation process
-    /// (`ctx` is the caller's kernel context). Idempotent.
-    pub fn wake(&self, ctx: &mut ProcessContext) {
+    /// (`h` is the caller's kernel handle, in either execution mode).
+    /// Idempotent.
+    pub fn wake(&self, h: &mut dyn KernelHandle) {
         match self {
-            Waiter::Task(handle) => handle.wake(ctx),
-            Waiter::Hw(waker) => waker.wake(ctx),
+            Waiter::Task(handle) => handle.wake(h),
+            Waiter::Hw(waker) => waker.wake(h),
         }
     }
 }
@@ -63,10 +64,27 @@ pub struct HwWaker {
 }
 
 impl HwWaker {
+    pub(crate) fn new(event: Event) -> Self {
+        HwWaker {
+            event,
+            pending: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// Wakes the hardware function (latched).
-    pub fn wake(&self, ctx: &mut ProcessContext) {
+    pub fn wake(&self, h: &mut dyn KernelHandle) {
         self.pending.store(true, Ordering::Release);
-        ctx.notify(self.event);
+        h.notify(self.event);
+    }
+
+    /// Consumes the latch, returning whether a wake was pending.
+    pub(crate) fn take_pending(&self) -> bool {
+        self.pending.swap(false, Ordering::AcqRel)
+    }
+
+    /// The wake event other processes notify.
+    pub(crate) fn event(&self) -> Event {
+        self.event
     }
 }
 
@@ -98,9 +116,10 @@ pub trait Agent {
     /// The trace recorder in use.
     fn recorder(&self) -> &TraceRecorder;
 
-    /// The raw kernel context (for notifications issued on this agent's
-    /// behalf).
-    fn kernel(&mut self) -> &mut ProcessContext;
+    /// The raw kernel handle (for notifications issued on this agent's
+    /// behalf). A [`rtsim_kernel::ProcessContext`] in thread mode, a
+    /// [`rtsim_kernel::SegmentCtx`] in segment mode.
+    fn kernel(&mut self) -> &mut dyn KernelHandle;
 
     /// Enters a critical region (no-op in hardware).
     fn lock_preemption(&mut self) {}
@@ -150,7 +169,7 @@ impl Agent for TaskCtx<'_> {
         TaskCtx::recorder(self)
     }
 
-    fn kernel(&mut self) -> &mut ProcessContext {
+    fn kernel(&mut self) -> &mut dyn KernelHandle {
         TaskCtx::kernel(self)
     }
 
@@ -239,7 +258,7 @@ impl Agent for HwCtx<'_> {
         &self.recorder
     }
 
-    fn kernel(&mut self) -> &mut ProcessContext {
+    fn kernel(&mut self) -> &mut dyn KernelHandle {
         self.kctx
     }
 }

@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use rtsim_kernel::sync::Mutex;
-use rtsim_kernel::{Event, ProcessContext, SimDuration, SimTime, Wake};
+use rtsim_kernel::{Event, KernelHandle, ProcessContext, SimDuration, SimTime, Wake};
 use rtsim_trace::{ActorId, OverheadKind, TaskState, TraceRecorder};
 
 use crate::overhead::{Overheads, RtosView};
@@ -348,8 +348,25 @@ impl RtosState {
     }
 }
 
+/// One step of the relinquish protocol, as seen by whoever drives it
+/// (the blocking wrapper on a thread, or a segment frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RelStep {
+    /// Wait this long, then call `relinquish_step` with the next phase.
+    Wait(SimDuration),
+    /// The protocol is complete.
+    Done,
+}
+
 /// The per-implementation-strategy surface: how a task gives up the CPU
 /// and how a task is made ready. Everything else is shared.
+///
+/// Both operations are expressed *non-blocking*: `relinquish_step` is a
+/// phase function whose waits are performed by the caller, so the thread
+/// backend (blocking [`Engine::relinquish`] wrapper) and the segment
+/// backend (a relinquish frame) drive the identical state mutations and
+/// trace records — the single source of truth behind the two execution
+/// modes' bit-identical schedules.
 pub(crate) trait Engine: Send + Sync {
     /// The shared RTOS state.
     fn shared(&self) -> &Arc<Mutex<RtosState>>;
@@ -357,22 +374,46 @@ pub(crate) trait Engine: Send + Sync {
     /// Which strategy this engine implements.
     fn kind(&self) -> EngineKind;
 
-    /// Called by the running task `me` to give up the CPU, entering
-    /// `next_state` (requeued as Ready if `requeue`). Performs context
-    /// save + scheduling overhead and dispatches a successor; in approach
-    /// B on the caller's coroutine, in approach A on the RTOS coroutine.
+    /// Phase `phase` of task `me` giving up the CPU, entering
+    /// `next_state` (requeued as Ready if `requeue`). Phase 0 leaves the
+    /// Running state; each returned [`RelStep::Wait`] must be slept by
+    /// the caller before invoking the next phase. In approach B the
+    /// phases run on the caller; in approach A phase 0 merely posts a
+    /// request to the RTOS coroutine and completes.
+    fn relinquish_step(
+        &self,
+        h: &mut dyn KernelHandle,
+        me: TaskId,
+        next_state: TaskState,
+        requeue: bool,
+        phase: u8,
+    ) -> RelStep;
+
+    /// Blocking form of the relinquish protocol, for thread-backed tasks.
     fn relinquish(
         &self,
         ctx: &mut ProcessContext,
         me: TaskId,
         next_state: TaskState,
         requeue: bool,
-    );
+    ) {
+        let mut phase = 0u8;
+        loop {
+            match self.relinquish_step(ctx, me, next_state, requeue, phase) {
+                RelStep::Wait(d) => {
+                    ctx.wait_for(d);
+                    phase += 1;
+                }
+                RelStep::Done => return,
+            }
+        }
+    }
 
     /// Marks `target` ready, possibly triggering preemption of the
     /// running task or an idle dispatch. Callable from any simulation
-    /// process (tasks of this or another processor, hardware functions).
-    fn make_ready(&self, ctx: &mut ProcessContext, target: TaskId);
+    /// process (tasks of this or another processor, hardware functions)
+    /// in either execution mode — it never blocks.
+    fn make_ready(&self, h: &mut dyn KernelHandle, target: TaskId);
 }
 
 /// Waits until the CPU is granted to `me`, consumes any wake-time
@@ -546,68 +587,69 @@ pub(crate) fn lock_preemption(engine: &dyn Engine, me: TaskId) {
     st.lock_depth += 1;
 }
 
+/// Non-blocking prelude of [`unlock_preemption`]: leaves the critical
+/// region and, when the caller must yield, applies the preemption
+/// bookkeeping. Returns whether the caller must relinquish + re-acquire.
+pub(crate) fn unlock_preemption_prelude(engine: &dyn Engine, me: TaskId, now: SimTime) -> bool {
+    let mut st = engine.shared().lock();
+    assert!(st.lock_depth > 0, "preemption unlock without a lock");
+    st.lock_depth -= 1;
+    let must_yield =
+        st.lock_depth == 0 && st.preemptive && best_candidate_preempts(&mut st, now);
+    if must_yield {
+        st.stats.preemptions += 1;
+        st.entry_mut(me).preempt_pending = false;
+    }
+    must_yield
+}
+
 /// Leaves a critical region; if a more urgent task became ready meanwhile,
 /// the caller is preempted on the spot (the paper's Figure 7 point (3)).
 pub(crate) fn unlock_preemption(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
-    let must_yield = {
-        let mut st = engine.shared().lock();
-        assert!(st.lock_depth > 0, "preemption unlock without a lock");
-        st.lock_depth -= 1;
-        if st.lock_depth == 0 && st.preemptive {
-            let now = ctx.now();
-            best_candidate_preempts(&mut st, now)
-        } else {
-            false
-        }
-    };
-    if must_yield {
-        {
-            let mut st = engine.shared().lock();
-            st.stats.preemptions += 1;
-            st.entry_mut(me).preempt_pending = false;
-        }
+    if unlock_preemption_prelude(engine, me, ctx.now()) {
         engine.relinquish(ctx, me, TaskState::Ready, true);
         acquire(engine, ctx, me);
     }
+}
+
+/// Non-blocking prelude of [`reschedule`]: decides whether the caller
+/// must yield and applies the bookkeeping when it must.
+pub(crate) fn reschedule_prelude(engine: &dyn Engine, me: TaskId, now: SimTime) -> bool {
+    let mut st = engine.shared().lock();
+    let must_yield =
+        st.preemptive && st.lock_depth == 0 && best_candidate_preempts(&mut st, now);
+    if must_yield {
+        st.stats.preemptions += 1;
+        st.entry_mut(me).preempt_pending = false;
+    }
+    must_yield
 }
 
 /// Forces a scheduling decision: if the policy's best ready candidate now
 /// outranks the caller (e.g. after the caller's priority was restored at
 /// the end of a ceiling section), the caller yields the CPU.
 pub(crate) fn reschedule(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
-    let must_yield = {
-        let mut st = engine.shared().lock();
-        if !st.preemptive || st.lock_depth > 0 {
-            false
-        } else {
-            let now = ctx.now();
-            best_candidate_preempts(&mut st, now)
-        }
-    };
-    if must_yield {
-        {
-            let mut st = engine.shared().lock();
-            st.stats.preemptions += 1;
-            st.entry_mut(me).preempt_pending = false;
-        }
+    if reschedule_prelude(engine, me, ctx.now()) {
         engine.relinquish(ctx, me, TaskState::Ready, true);
         acquire(engine, ctx, me);
     }
+}
+
+/// Consumes a pending preemption request, returning whether one was set.
+pub(crate) fn take_preempt_pending(engine: &dyn Engine, me: TaskId) -> bool {
+    let mut st = engine.shared().lock();
+    let p = st.entry(me).preempt_pending;
+    if p {
+        st.entry_mut(me).preempt_pending = false;
+    }
+    p
 }
 
 /// Voluntary preemption point: yields the CPU if a preemption is pending
 /// (the paper's rule that a preemptive RTOS suspends a task *between two
 /// of its RTOS calls*).
 pub(crate) fn preemption_point(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId) {
-    let pending = {
-        let mut st = engine.shared().lock();
-        let p = st.entry(me).preempt_pending;
-        if p {
-            st.entry_mut(me).preempt_pending = false;
-        }
-        p
-    };
-    if pending {
+    if take_preempt_pending(engine, me) {
         engine.relinquish(ctx, me, TaskState::Ready, true);
         acquire(engine, ctx, me);
     }

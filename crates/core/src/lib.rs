@@ -78,6 +78,7 @@ pub mod policies;
 pub mod policy;
 mod proc_model;
 pub mod processor;
+pub mod seg;
 pub mod server;
 pub mod task;
 mod thread_model;
@@ -92,6 +93,7 @@ pub use interrupt::{spawn_interrupt_at, spawn_interrupt_schedule, spawn_periodic
 pub use overhead::{OverheadSpec, Overheads, RtosView};
 pub use policy::{PolicyView, SchedulingPolicy, TaskView};
 pub use processor::{Processor, ProcessorConfig, TaskCtx, TaskHandle};
+pub use seg::{register_seg_hw, SegAgent, SegControl, SegHwRunner, SegTaskRunner};
 pub use server::{spawn_polling_server, AperiodicQueue, CompletedRequest, PollingServerConfig};
 pub use task::{Priority, TaskConfig, TaskId};
 

@@ -15,14 +15,20 @@
 //!
 //! The only coroutine switches are between application tasks — the source
 //! of this model's simulation-speed advantage over approach A.
+//!
+//! The relinquish protocol is written as phase functions
+//! ([`Engine::relinquish_step`]): each phase mutates state and reports
+//! the wait to perform, and the caller — a blocking task thread or a
+//! run-to-completion segment frame — sleeps it. Both execution modes
+//! therefore drive the same code and produce the same schedule.
 
 use std::sync::Arc;
 
 use rtsim_kernel::sync::Mutex;
-use rtsim_kernel::{Event, ProcessContext, SimDuration, Simulator};
+use rtsim_kernel::{ExecMode, KernelHandle, SegStep, SimDuration, Simulator, WaitRequest};
 use rtsim_trace::{OverheadKind, TaskState};
 
-use crate::engine::{Engine, EngineKind, RtosState};
+use crate::engine::{Engine, EngineKind, RelStep, RtosState};
 use crate::task::TaskId;
 
 /// The procedure-call engine.
@@ -30,49 +36,74 @@ pub(crate) struct ProcEngine {
     shared: Arc<Mutex<RtosState>>,
 }
 
+/// The initial dispatcher's one shot: after the t=0 registrations settle,
+/// elect the first running task. Shared verbatim by the thread-backed and
+/// segment-backed dispatcher processes.
+fn dispatcher_fire(shared: &Mutex<RtosState>, h: &mut dyn KernelHandle) {
+    let notify = {
+        let mut st = shared.lock();
+        st.started = true;
+        if st.running.is_some() {
+            None
+        } else {
+            let now = h.now();
+            // Evaluate the scheduling duration against the full
+            // ready queue, before the election removes the winner
+            // (paper §3.2: the duration depends on the number of
+            // ready tasks *when the algorithm runs*).
+            let view = st.rtos_view(now);
+            let sched = st.overheads.scheduling.eval(&view);
+            st.pick_next(now).map(|next| {
+                let view = st.rtos_view(now);
+                let load = st.overheads.context_load.eval(&view);
+                st.grant(next, Some(sched), Some(load))
+            })
+        }
+    };
+    if let Some(ev) = notify {
+        h.notify(ev);
+    }
+}
+
 impl ProcEngine {
     /// Creates the engine and spawns its one helper process: the initial
     /// dispatcher, which waits for all t=0 registrations to settle (one
-    /// zero-time step) and then elects the first running task.
+    /// zero-time step) and then elects the first running task. The
+    /// dispatcher takes the simulator's execution mode: a blocking
+    /// closure in thread mode, an inline segment otherwise.
     pub fn new(sim: &mut Simulator, shared: Arc<Mutex<RtosState>>) -> Arc<Self> {
         let engine = Arc::new(ProcEngine {
             shared: Arc::clone(&shared),
         });
         let name = shared.lock().name.clone();
-        sim.spawn(&format!("{name}.dispatcher"), move |ctx| {
-            ctx.wait_for(SimDuration::ZERO);
-            let notify = {
-                let mut st = shared.lock();
-                st.started = true;
-                if st.running.is_some() {
-                    None
-                } else {
-                    let now = ctx.now();
-                    // Evaluate the scheduling duration against the full
-                    // ready queue, before the election removes the winner
-                    // (paper §3.2: the duration depends on the number of
-                    // ready tasks *when the algorithm runs*).
-                    let view = st.rtos_view(now);
-                    let sched = st.overheads.scheduling.eval(&view);
-                    st.pick_next(now).map(|next| {
-                        let view = st.rtos_view(now);
-                        let load = st.overheads.context_load.eval(&view);
-                        st.grant(next, Some(sched), Some(load))
-                    })
-                }
-            };
-            if let Some(ev) = notify {
-                ctx.notify(ev);
+        let proc_name = format!("{name}.dispatcher");
+        match sim.exec_mode() {
+            ExecMode::Thread => {
+                sim.spawn(&proc_name, move |ctx| {
+                    ctx.wait_for(SimDuration::ZERO);
+                    dispatcher_fire(&shared, ctx);
+                });
             }
-        });
+            ExecMode::Segment => {
+                let mut fired = false;
+                sim.spawn_segment(&proc_name, move |ctx| {
+                    if !fired {
+                        fired = true;
+                        return SegStep::Yield(WaitRequest::time(SimDuration::ZERO));
+                    }
+                    dispatcher_fire(&shared, ctx);
+                    SegStep::Done
+                });
+            }
+        }
         engine
     }
 }
 
 enum ReadyAction {
     Nothing,
-    Preempt(Event),
-    Dispatch(Event),
+    Preempt(rtsim_kernel::Event),
+    Dispatch(rtsim_kernel::Event),
 }
 
 impl Engine for ProcEngine {
@@ -84,68 +115,70 @@ impl Engine for ProcEngine {
         EngineKind::ProcedureCall
     }
 
-    fn relinquish(
+    fn relinquish_step(
         &self,
-        ctx: &mut ProcessContext,
+        h: &mut dyn KernelHandle,
         me: TaskId,
         next_state: TaskState,
         requeue: bool,
-    ) {
-        // Phase 1: leave the Running state, pay the context save.
-        let save = {
-            let mut st = self.shared.lock();
-            let now = ctx.now();
-            debug_assert_eq!(st.running, Some(me), "relinquish by a non-running task");
-            st.stats.scheduler_runs += 1;
-            st.in_overhead = true;
-            st.running = None;
-            if requeue {
-                st.enqueue_ready(me, now, false);
-            } else {
-                st.set_task_state(me, now, next_state);
-            }
-            let view = st.rtos_view(now);
-            let save = st.overheads.context_save.eval(&view);
-            st.record_overhead(me, now, OverheadKind::ContextSave, save);
-            save
-        };
-        ctx.wait_for(save);
-
-        // Phase 2: run the scheduling algorithm. Its duration is evaluated
-        // *now*, against the ready queue the algorithm actually sees
-        // (paper §3.2: the duration "depends ... on the number of ready
-        // tasks when the algorithm runs").
-        let sched = {
-            let mut st = self.shared.lock();
-            let now = ctx.now();
-            let view = st.rtos_view(now);
-            let sched = st.overheads.scheduling.eval(&view);
-            st.record_overhead(me, now, OverheadKind::Scheduling, sched);
-            sched
-        };
-        ctx.wait_for(sched);
-
-        // Phase 3: elect the successor; it pays its own context load when
-        // it wakes (Figure 5).
-        let notify = {
-            let mut st = self.shared.lock();
-            let now = ctx.now();
-            st.in_overhead = false;
-            st.pick_next(now).map(|next| {
+        phase: u8,
+    ) -> RelStep {
+        match phase {
+            // Phase 0: leave the Running state, pay the context save.
+            0 => {
+                let mut st = self.shared.lock();
+                let now = h.now();
+                debug_assert_eq!(st.running, Some(me), "relinquish by a non-running task");
+                st.stats.scheduler_runs += 1;
+                st.in_overhead = true;
+                st.running = None;
+                if requeue {
+                    st.enqueue_ready(me, now, false);
+                } else {
+                    st.set_task_state(me, now, next_state);
+                }
                 let view = st.rtos_view(now);
-                let load = st.overheads.context_load.eval(&view);
-                st.grant(next, None, Some(load))
-            })
-        };
-        if let Some(ev) = notify {
-            ctx.notify(ev);
+                let save = st.overheads.context_save.eval(&view);
+                st.record_overhead(me, now, OverheadKind::ContextSave, save);
+                RelStep::Wait(save)
+            }
+            // Phase 1: run the scheduling algorithm. Its duration is
+            // evaluated *now*, against the ready queue the algorithm
+            // actually sees (paper §3.2: the duration "depends ... on the
+            // number of ready tasks when the algorithm runs").
+            1 => {
+                let mut st = self.shared.lock();
+                let now = h.now();
+                let view = st.rtos_view(now);
+                let sched = st.overheads.scheduling.eval(&view);
+                st.record_overhead(me, now, OverheadKind::Scheduling, sched);
+                RelStep::Wait(sched)
+            }
+            // Phase 2: elect the successor; it pays its own context load
+            // when it wakes (Figure 5).
+            _ => {
+                let notify = {
+                    let mut st = self.shared.lock();
+                    let now = h.now();
+                    st.in_overhead = false;
+                    st.pick_next(now).map(|next| {
+                        let view = st.rtos_view(now);
+                        let load = st.overheads.context_load.eval(&view);
+                        st.grant(next, None, Some(load))
+                    })
+                };
+                if let Some(ev) = notify {
+                    h.notify(ev);
+                }
+                RelStep::Done
+            }
         }
     }
 
-    fn make_ready(&self, ctx: &mut ProcessContext, target: TaskId) {
+    fn make_ready(&self, h: &mut dyn KernelHandle, target: TaskId) {
         let action = {
             let mut st = self.shared.lock();
-            let now = ctx.now();
+            let now = h.now();
             match st.entry(target).state {
                 TaskState::Ready | TaskState::Running => return, // already awake
                 TaskState::Terminated => return,                 // nothing to wake
@@ -179,7 +212,7 @@ impl Engine for ProcEngine {
         };
         match action {
             ReadyAction::Nothing => {}
-            ReadyAction::Preempt(ev) | ReadyAction::Dispatch(ev) => ctx.notify(ev),
+            ReadyAction::Preempt(ev) | ReadyAction::Dispatch(ev) => h.notify(ev),
         }
     }
 }

@@ -10,7 +10,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use rtsim_kernel::sync::Mutex;
-use rtsim_kernel::{ProcessContext, SimDuration, SimTime, Simulator};
+use rtsim_kernel::{KernelHandle, ProcessContext, SimDuration, SimTime, Simulator};
 use rtsim_trace::{ActorId, ActorKind, TaskState, TraceRecorder};
 
 use crate::engine::{self, Engine, EngineKind, RtosState, SchedulerStats};
@@ -18,6 +18,7 @@ use crate::overhead::Overheads;
 use crate::policies::PriorityPreemptive;
 use crate::policy::SchedulingPolicy;
 use crate::proc_model::ProcEngine;
+use crate::seg::SegTaskRunner;
 use crate::task::{Priority, TaskConfig, TaskId};
 use crate::thread_model::ThreadEngine;
 
@@ -206,6 +207,30 @@ impl Processor {
         }
     }
 
+    /// Registers a task for segment-mode execution: run/preempt events,
+    /// trace actor and RTOS entry are created in exactly the same order
+    /// as [`spawn_task`](Processor::spawn_task), but no kernel process is
+    /// spawned — the caller embeds the returned [`SegTaskRunner`] in a
+    /// run-to-completion segment instead (see `rtsim-mcse`).
+    pub fn register_seg_task(&self, sim: &mut Simulator, config: TaskConfig) -> SegTaskRunner {
+        let task_name = config.name.clone();
+        let run_event = sim.event(&format!("{}.{}.TaskRun", self.name, task_name));
+        let preempt_event = sim.event(&format!("{}.{}.TaskPreempt", self.name, task_name));
+        let actor = self.recorder.register(&task_name, ActorKind::Task);
+        let id = self
+            .engine
+            .shared()
+            .lock()
+            .add_task(config, run_event, preempt_event, actor);
+        let handle = TaskHandle {
+            engine: Arc::clone(&self.engine),
+            id,
+            actor,
+            name: Arc::from(task_name.as_str()),
+        };
+        SegTaskRunner::new(handle, self.recorder.clone())
+    }
+
     /// Processor display name.
     pub fn name(&self) -> &str {
         &self.name
@@ -253,10 +278,10 @@ impl fmt::Debug for Processor {
 /// hardware processes, other processors, or communication relations.
 #[derive(Clone)]
 pub struct TaskHandle {
-    engine: Arc<dyn Engine>,
-    id: TaskId,
-    actor: ActorId,
-    name: Arc<str>,
+    pub(crate) engine: Arc<dyn Engine>,
+    pub(crate) id: TaskId,
+    pub(crate) actor: ActorId,
+    pub(crate) name: Arc<str>,
 }
 
 impl TaskHandle {
@@ -279,8 +304,11 @@ impl TaskHandle {
     /// outside: a hardware interrupt, a cross-processor message arrival...
     /// May preempt the task currently running on the target processor.
     /// No-op if the task is already ready, running, or terminated.
-    pub fn wake(&self, ctx: &mut ProcessContext) {
-        self.engine.make_ready(ctx, self.id);
+    ///
+    /// Callable from either execution mode: `h` is the caller's
+    /// [`ProcessContext`] or [`rtsim_kernel::SegmentCtx`].
+    pub fn wake(&self, h: &mut dyn KernelHandle) {
+        self.engine.make_ready(h, self.id);
     }
 
     /// Returns `true` if both handles designate the same task of the same

@@ -1,0 +1,705 @@
+//! Run-to-completion drivers for tasks and hardware functions.
+//!
+//! In [`ExecMode::Segment`](rtsim_kernel::ExecMode) a task is not a
+//! blocking closure on its own thread but a **frame stack** advanced
+//! inside the kernel's scheduler loop. Every blocking primitive of
+//! [`crate::engine`] (`acquire`, `execute`, `delay`, `block`, the
+//! relinquish protocol) has a frame here that performs the *identical*
+//! state mutations and trace records and asks its caller to perform the
+//! waits — so both execution modes produce bit-identical schedules.
+//!
+//! The drivers deliberately know nothing about what the task computes:
+//! a script interpreter (see `rtsim-mcse`) calls [`SegTaskRunner::advance`]
+//! until it reports [`SegControl::Idle`], feeds the next intent
+//! ([`SegTaskRunner::execute`], [`delay`](SegTaskRunner::delay), ...), and
+//! forwards every [`SegControl::Yield`] to the kernel.
+
+use std::sync::Arc;
+
+use rtsim_kernel::{SegmentCtx, SimDuration, SimTime, Simulator, Wake, WaitRequest};
+use rtsim_trace::{ActorId, ActorKind, OverheadKind, TaskState, TraceRecorder};
+
+use crate::agent::{Agent, HwWaker, Waiter};
+use crate::engine::{self, Engine, RelStep};
+use crate::processor::TaskHandle;
+use crate::task::TaskId;
+
+/// What the owner of a runner must do after an
+/// [`advance`](SegTaskRunner::advance) call.
+#[derive(Debug)]
+pub enum SegControl {
+    /// Return this wait from the kernel segment; call `advance` again on
+    /// the next dispatch.
+    Yield(WaitRequest),
+    /// The task is Running with no operation in flight: feed the next
+    /// intent, then `advance` again.
+    Idle,
+    /// The task terminated; return `SegStep::Done`.
+    Finished,
+}
+
+/// One suspended RTOS operation of a segment task (LIFO stack).
+enum Frame {
+    /// First activation: record Creation, go ready, wait for dispatch.
+    Start,
+    /// Waiting for the CPU grant + consuming wake-time overheads
+    /// (mirrors [`engine::acquire`]).
+    Acquire(AcqStage),
+    /// One give-up of the CPU, driven phase by phase
+    /// (mirrors [`Engine::relinquish`]).
+    Relinquish {
+        next_state: TaskState,
+        requeue: bool,
+        phase: u8,
+    },
+    /// Preemptible computation (mirrors [`engine::execute`]). `started`
+    /// is `Some` while a wait is in flight; its take distinguishes a
+    /// fresh loop entry from wake processing.
+    Execute {
+        remaining: SimDuration,
+        started: Option<SimTime>,
+    },
+    /// Timed sleep with a pre-computed wake instant
+    /// (mirrors [`engine::delay`]).
+    Delay { wake_at: SimTime, slept: bool },
+}
+
+/// Progress through the acquire protocol.
+enum AcqStage {
+    /// Check/await the CPU grant.
+    Poll,
+    /// The wake-time scheduling overhead wait is in flight; the context
+    /// load (if any) follows.
+    Sched { load: Option<SimDuration> },
+    /// The wake-time context-load wait is in flight.
+    Load,
+}
+
+/// Outcome of stepping one frame.
+enum FrameStep {
+    /// Suspend here; re-step this frame on the next dispatch.
+    Yield(WaitRequest),
+    /// The frame completed.
+    Pop,
+    /// Keep this frame and run `children` first (last entry on top).
+    Push(Vec<Frame>),
+    /// Replace this frame by `children` (last entry on top).
+    Replace(Vec<Frame>),
+}
+
+/// The relinquish + re-acquire pair every yield of the CPU goes through.
+fn resume_frames(next_state: TaskState, requeue: bool) -> Vec<Frame> {
+    vec![
+        Frame::Acquire(AcqStage::Poll),
+        Frame::Relinquish {
+            next_state,
+            requeue,
+            phase: 0,
+        },
+    ]
+}
+
+fn step_start(engine: &dyn Engine, me: TaskId, ctx: &mut SegmentCtx<'_>) -> FrameStep {
+    {
+        let mut st = engine.shared().lock();
+        let now = ctx.now();
+        st.set_task_state(me, now, TaskState::Created);
+    }
+    engine.make_ready(ctx, me);
+    FrameStep::Replace(vec![Frame::Acquire(AcqStage::Poll)])
+}
+
+fn acquire_finish(engine: &dyn Engine, me: TaskId, ctx: &mut SegmentCtx<'_>) -> FrameStep {
+    let mut st = engine.shared().lock();
+    let now = ctx.now();
+    st.set_task_state(me, now, TaskState::Running);
+    st.entry_mut(me).dispatched_at = now;
+    FrameStep::Pop
+}
+
+fn step_acquire(
+    engine: &dyn Engine,
+    me: TaskId,
+    ctx: &mut SegmentCtx<'_>,
+    stage: &mut AcqStage,
+) -> FrameStep {
+    match stage {
+        AcqStage::Poll => {
+            let wait_on = {
+                let mut st = engine.shared().lock();
+                if st.entry(me).run_granted {
+                    st.entry_mut(me).run_granted = false;
+                    None
+                } else {
+                    Some(st.entry(me).run_event)
+                }
+            };
+            if let Some(ev) = wait_on {
+                return FrameStep::Yield(WaitRequest::event(ev));
+            }
+            let (sched, load) = {
+                let mut st = engine.shared().lock();
+                let entry = st.entry_mut(me);
+                (entry.wake_sched.take(), entry.wake_load.take())
+            };
+            if let Some(d) = sched {
+                engine
+                    .shared()
+                    .lock()
+                    .record_overhead(me, ctx.now(), OverheadKind::Scheduling, d);
+                *stage = AcqStage::Sched { load };
+                return FrameStep::Yield(WaitRequest::time(d));
+            }
+            if let Some(d) = load {
+                engine
+                    .shared()
+                    .lock()
+                    .record_overhead(me, ctx.now(), OverheadKind::ContextLoad, d);
+                *stage = AcqStage::Load;
+                return FrameStep::Yield(WaitRequest::time(d));
+            }
+            acquire_finish(engine, me, ctx)
+        }
+        AcqStage::Sched { load } => {
+            if let Some(d) = load.take() {
+                engine
+                    .shared()
+                    .lock()
+                    .record_overhead(me, ctx.now(), OverheadKind::ContextLoad, d);
+                *stage = AcqStage::Load;
+                return FrameStep::Yield(WaitRequest::time(d));
+            }
+            acquire_finish(engine, me, ctx)
+        }
+        AcqStage::Load => acquire_finish(engine, me, ctx),
+    }
+}
+
+fn step_relinquish(
+    engine: &dyn Engine,
+    me: TaskId,
+    ctx: &mut SegmentCtx<'_>,
+    next_state: TaskState,
+    requeue: bool,
+    phase: &mut u8,
+) -> FrameStep {
+    match engine.relinquish_step(ctx, me, next_state, requeue, *phase) {
+        RelStep::Wait(d) => {
+            *phase += 1;
+            FrameStep::Yield(WaitRequest::time(d))
+        }
+        RelStep::Done => FrameStep::Pop,
+    }
+}
+
+fn step_execute(
+    engine: &dyn Engine,
+    me: TaskId,
+    ctx: &mut SegmentCtx<'_>,
+    remaining: &mut SimDuration,
+    started: &mut Option<SimTime>,
+) -> FrameStep {
+    if let Some(s) = started.take() {
+        // A computation wait just ended: account the elapsed time exactly
+        // (the paper's time-accurate preemption), then classify the wake.
+        let elapsed = ctx.now() - s;
+        *remaining = remaining.saturating_sub(elapsed);
+        match ctx.wake() {
+            Wake::Event(_) => {
+                // Preempted: the remaining time survives for the resume.
+                engine.shared().lock().entry_mut(me).preempt_pending = false;
+                return FrameStep::Push(resume_frames(TaskState::Ready, true));
+            }
+            Wake::Timeout => {
+                if remaining.is_zero() {
+                    return FrameStep::Pop;
+                }
+                if engine.shared().lock().preemption_granularity.is_none() {
+                    // Quantum expired with work left: rotate to the back.
+                    engine.shared().lock().stats.quantum_expirations += 1;
+                    return FrameStep::Push(resume_frames(TaskState::Ready, true));
+                }
+                // Chunk boundary of the clock-driven baseline: fall
+                // through to re-check the preemption flags.
+            }
+        }
+    }
+    let (preempt_now, slice, preempt_ev, granularity) = {
+        let mut st = engine.shared().lock();
+        let pending = st.entry(me).preempt_pending;
+        if pending {
+            st.entry_mut(me).preempt_pending = false;
+        }
+        (
+            pending,
+            st.remaining_slice(me, ctx.now()),
+            st.entry(me).preempt_event,
+            st.preemption_granularity,
+        )
+    };
+    if preempt_now {
+        return FrameStep::Push(resume_frames(TaskState::Ready, true));
+    }
+    if remaining.is_zero() {
+        return FrameStep::Pop;
+    }
+    let bound = match slice {
+        Some(s) => s.min(*remaining),
+        None => *remaining,
+    };
+    *started = Some(ctx.now());
+    match granularity {
+        None => FrameStep::Yield(WaitRequest::event_for(preempt_ev, bound)),
+        Some(quantum) => FrameStep::Yield(WaitRequest::time(quantum.min(bound))),
+    }
+}
+
+fn step_delay(
+    engine: &dyn Engine,
+    me: TaskId,
+    ctx: &mut SegmentCtx<'_>,
+    wake_at: SimTime,
+    slept: &mut bool,
+) -> FrameStep {
+    if !*slept {
+        *slept = true;
+        let now = ctx.now();
+        if wake_at > now {
+            return FrameStep::Yield(WaitRequest::time(wake_at - now));
+        }
+    }
+    engine.make_ready(ctx, me);
+    FrameStep::Replace(vec![Frame::Acquire(AcqStage::Poll)])
+}
+
+/// Drives one RTOS task as a run-to-completion frame stack.
+///
+/// Created by [`Processor::register_seg_task`](crate::Processor::register_seg_task);
+/// the owner embeds it in a kernel segment process and loops
+/// [`advance`](SegTaskRunner::advance).
+pub struct SegTaskRunner {
+    handle: TaskHandle,
+    recorder: TraceRecorder,
+    stack: Vec<Frame>,
+    done: bool,
+}
+
+impl SegTaskRunner {
+    pub(crate) fn new(handle: TaskHandle, recorder: TraceRecorder) -> Self {
+        SegTaskRunner {
+            handle,
+            recorder,
+            stack: vec![Frame::Start],
+            done: false,
+        }
+    }
+
+    /// Runs frames until one suspends, the stack drains while the task is
+    /// Running (feed an intent), or the task has terminated.
+    pub fn advance(&mut self, ctx: &mut SegmentCtx<'_>) -> SegControl {
+        loop {
+            let Some(mut frame) = self.stack.pop() else {
+                return if self.done {
+                    SegControl::Finished
+                } else {
+                    SegControl::Idle
+                };
+            };
+            let engine = Arc::clone(&self.handle.engine);
+            let me = self.handle.id;
+            let step = match &mut frame {
+                Frame::Start => step_start(engine.as_ref(), me, ctx),
+                Frame::Acquire(stage) => step_acquire(engine.as_ref(), me, ctx, stage),
+                Frame::Relinquish {
+                    next_state,
+                    requeue,
+                    phase,
+                } => step_relinquish(engine.as_ref(), me, ctx, *next_state, *requeue, phase),
+                Frame::Execute { remaining, started } => {
+                    step_execute(engine.as_ref(), me, ctx, remaining, started)
+                }
+                Frame::Delay { wake_at, slept } => {
+                    step_delay(engine.as_ref(), me, ctx, *wake_at, slept)
+                }
+            };
+            match step {
+                FrameStep::Yield(req) => {
+                    self.stack.push(frame);
+                    return SegControl::Yield(req);
+                }
+                FrameStep::Pop => {}
+                FrameStep::Push(children) => {
+                    self.stack.push(frame);
+                    self.stack.extend(children);
+                }
+                FrameStep::Replace(children) => {
+                    self.stack.extend(children);
+                }
+            }
+        }
+    }
+
+    /// Intent: consume `d` of preemptible CPU time
+    /// (the segment form of [`TaskCtx::execute`](crate::TaskCtx::execute)).
+    pub fn execute(&mut self, d: SimDuration) {
+        self.push_intent(Frame::Execute {
+            remaining: d,
+            started: None,
+        });
+    }
+
+    /// Intent: release the CPU until `d` after `now`
+    /// (the segment form of [`TaskCtx::delay`](crate::TaskCtx::delay)).
+    pub fn delay(&mut self, now: SimTime, d: SimDuration) {
+        let wake_at = now.saturating_add(d);
+        self.push_intent(Frame::Delay {
+            wake_at,
+            slept: false,
+        });
+        self.stack.push(Frame::Relinquish {
+            next_state: TaskState::Waiting,
+            requeue: false,
+            phase: 0,
+        });
+    }
+
+    /// Intent: block until woken through this task's [`Waiter`]
+    /// (the segment form of [`TaskCtx::suspend`](crate::TaskCtx::suspend)).
+    pub fn suspend(&mut self, resource: bool) {
+        let state = if resource {
+            TaskState::WaitingResource
+        } else {
+            TaskState::Waiting
+        };
+        debug_assert!(self.stack.is_empty(), "intent while an operation is in flight");
+        self.stack.extend(resume_frames(state, false));
+    }
+
+    /// Intent: terminate the task. After the final relinquish completes,
+    /// [`advance`](SegTaskRunner::advance) reports `Finished`.
+    pub fn finish(&mut self) {
+        debug_assert!(self.stack.is_empty(), "intent while an operation is in flight");
+        self.done = true;
+        self.stack.push(Frame::Relinquish {
+            next_state: TaskState::Terminated,
+            requeue: false,
+            phase: 0,
+        });
+    }
+
+    /// Enters a critical region (never blocks; see
+    /// [`TaskCtx::lock_preemption`](crate::TaskCtx::lock_preemption)).
+    pub fn lock_preemption(&mut self) {
+        engine::lock_preemption(self.handle.engine.as_ref(), self.handle.id);
+    }
+
+    /// Leaves a critical region; if a more urgent task became ready during
+    /// it, queues the on-the-spot preemption.
+    pub fn unlock_preemption(&mut self, now: SimTime) {
+        if engine::unlock_preemption_prelude(self.handle.engine.as_ref(), self.handle.id, now) {
+            self.push_intent_pair();
+        }
+    }
+
+    /// Forces a scheduling decision after a priority change (the segment
+    /// form of [`TaskCtx::reschedule`](crate::TaskCtx::reschedule)).
+    pub fn reschedule(&mut self, now: SimTime) {
+        if engine::reschedule_prelude(self.handle.engine.as_ref(), self.handle.id, now) {
+            self.push_intent_pair();
+        }
+    }
+
+    /// Voluntary preemption point: yields the CPU if a preemption is
+    /// pending.
+    pub fn preemption_point(&mut self) {
+        if engine::take_preempt_pending(self.handle.engine.as_ref(), self.handle.id) {
+            self.push_intent_pair();
+        }
+    }
+
+    fn push_intent(&mut self, frame: Frame) {
+        debug_assert!(self.stack.is_empty(), "intent while an operation is in flight");
+        self.stack.push(frame);
+    }
+
+    fn push_intent_pair(&mut self) {
+        debug_assert!(self.stack.is_empty(), "intent while an operation is in flight");
+        self.stack.extend(resume_frames(TaskState::Ready, true));
+    }
+
+    /// A cloneable handle for waking this task from elsewhere.
+    pub fn handle(&self) -> TaskHandle {
+        self.handle.clone()
+    }
+
+    /// This task's trace actor.
+    pub fn actor(&self) -> ActorId {
+        self.handle.actor
+    }
+
+    /// This task's name.
+    pub fn name(&self) -> &str {
+        self.handle.name()
+    }
+
+    /// Annotates the trace at `now`.
+    pub fn annotate(&self, now: SimTime, label: &str) {
+        self.recorder.annotate(self.handle.actor, now, label);
+    }
+
+    /// An [`Agent`] view over this task for the *non-blocking* operations
+    /// (communication attempts). Blocking `Agent` calls on it panic —
+    /// those are expressed as intents on the runner instead.
+    pub fn agent<'r, 'c, 'a>(&'r self, ctx: &'c mut SegmentCtx<'a>) -> SegAgent<'r, 'c, 'a> {
+        SegAgent {
+            ctx,
+            waiter: Waiter::Task(self.handle.clone()),
+            actor: self.handle.actor,
+            recorder: &self.recorder,
+            lock_target: Some((Arc::clone(&self.handle.engine), self.handle.id)),
+        }
+    }
+}
+
+impl std::fmt::Debug for SegTaskRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegTaskRunner")
+            .field("task", &self.handle.name())
+            .field("frames", &self.stack.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+/// One suspended operation of a segment hardware function.
+enum HwFrame {
+    Execute { d: SimDuration, slept: bool },
+    Delay { d: SimDuration, slept: bool },
+    Suspend { resource: bool, announced: bool },
+}
+
+/// Drives one hardware function (fully concurrent, no RTOS) as a
+/// run-to-completion frame stack. Mirrors [`crate::agent::HwCtx`].
+///
+/// Created by [`register_seg_hw`].
+pub struct SegHwRunner {
+    waker: HwWaker,
+    actor: ActorId,
+    recorder: TraceRecorder,
+    stack: Vec<HwFrame>,
+    started: bool,
+    done: bool,
+}
+
+/// Registers a hardware function for segment-mode execution: trace actor
+/// and wake event are created in the same order as
+/// [`spawn_hw_function`](crate::spawn_hw_function), but no process is
+/// spawned — the caller embeds the returned runner in a kernel segment.
+pub fn register_seg_hw(sim: &mut Simulator, recorder: &TraceRecorder, name: &str) -> SegHwRunner {
+    let actor = recorder.register(name, ActorKind::Task);
+    let event = sim.event(&format!("{name}.hw_wake"));
+    SegHwRunner {
+        waker: HwWaker::new(event),
+        actor,
+        recorder: recorder.clone(),
+        stack: Vec::new(),
+        started: false,
+        done: false,
+    }
+}
+
+impl SegHwRunner {
+    /// Runs frames until one suspends, the stack drains (feed an intent),
+    /// or the function has finished.
+    pub fn advance(&mut self, ctx: &mut SegmentCtx<'_>) -> SegControl {
+        if !self.started {
+            self.started = true;
+            let now = ctx.now();
+            self.recorder.state(self.actor, now, TaskState::Created);
+            self.recorder.state(self.actor, now, TaskState::Running);
+        }
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                if self.done {
+                    self.recorder
+                        .state(self.actor, ctx.now(), TaskState::Terminated);
+                    return SegControl::Finished;
+                }
+                return SegControl::Idle;
+            };
+            match frame {
+                HwFrame::Execute { d, slept } => {
+                    if !*slept {
+                        *slept = true;
+                        return SegControl::Yield(WaitRequest::time(*d));
+                    }
+                    self.stack.pop();
+                }
+                HwFrame::Delay { d, slept } => {
+                    if !*slept {
+                        self.recorder
+                            .state(self.actor, ctx.now(), TaskState::Waiting);
+                        *slept = true;
+                        return SegControl::Yield(WaitRequest::time(*d));
+                    }
+                    self.recorder
+                        .state(self.actor, ctx.now(), TaskState::Running);
+                    self.stack.pop();
+                }
+                HwFrame::Suspend {
+                    resource,
+                    announced,
+                } => {
+                    if !*announced {
+                        let state = if *resource {
+                            TaskState::WaitingResource
+                        } else {
+                            TaskState::Waiting
+                        };
+                        self.recorder.state(self.actor, ctx.now(), state);
+                        *announced = true;
+                    }
+                    if self.waker.take_pending() {
+                        self.recorder
+                            .state(self.actor, ctx.now(), TaskState::Running);
+                        self.stack.pop();
+                    } else {
+                        return SegControl::Yield(WaitRequest::event(self.waker.event()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Intent: consume `d` of (concurrent) computation time.
+    pub fn execute(&mut self, d: SimDuration) {
+        debug_assert!(self.stack.is_empty(), "intent while an operation is in flight");
+        self.stack.push(HwFrame::Execute { d, slept: false });
+    }
+
+    /// Intent: sleep for `d`.
+    pub fn delay(&mut self, d: SimDuration) {
+        debug_assert!(self.stack.is_empty(), "intent while an operation is in flight");
+        self.stack.push(HwFrame::Delay { d, slept: false });
+    }
+
+    /// Intent: block until woken through this function's [`Waiter`].
+    pub fn suspend(&mut self, resource: bool) {
+        debug_assert!(self.stack.is_empty(), "intent while an operation is in flight");
+        self.stack.push(HwFrame::Suspend {
+            resource,
+            announced: false,
+        });
+    }
+
+    /// Intent: the function's body is over; record Termination.
+    pub fn finish(&mut self) {
+        debug_assert!(self.stack.is_empty(), "intent while an operation is in flight");
+        self.done = true;
+    }
+
+    /// How other processes wake this function.
+    pub fn waiter(&self) -> Waiter {
+        Waiter::Hw(self.waker.clone())
+    }
+
+    /// This function's trace actor.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+
+    /// An [`Agent`] view over this function for the non-blocking
+    /// operations (communication attempts).
+    pub fn agent<'r, 'c, 'a>(&'r self, ctx: &'c mut SegmentCtx<'a>) -> SegAgent<'r, 'c, 'a> {
+        SegAgent {
+            ctx,
+            waiter: Waiter::Hw(self.waker.clone()),
+            actor: self.actor,
+            recorder: &self.recorder,
+            lock_target: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SegHwRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegHwRunner")
+            .field("actor", &self.actor)
+            .field("frames", &self.stack.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+/// The [`Agent`] view of a segment task or hardware function.
+///
+/// Supports exactly the non-blocking subset of [`Agent`] that the
+/// communication *attempt* functions use: time, notifications, waiter,
+/// tracing and preemption locks. The blocking calls (`execute`, `delay`,
+/// `suspend`, `unlock_preemption`, `reschedule`) panic — in segment mode
+/// those are intents fed to the runner between attempts.
+pub struct SegAgent<'r, 'c, 'a> {
+    ctx: &'c mut SegmentCtx<'a>,
+    waiter: Waiter,
+    actor: ActorId,
+    recorder: &'r TraceRecorder,
+    lock_target: Option<(Arc<dyn Engine>, TaskId)>,
+}
+
+impl Agent for SegAgent<'_, '_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn execute(&mut self, _d: SimDuration) {
+        panic!("blocking Agent::execute on a run-to-completion segment");
+    }
+
+    fn delay(&mut self, _d: SimDuration) {
+        panic!("blocking Agent::delay on a run-to-completion segment");
+    }
+
+    fn suspend(&mut self, _resource: bool) {
+        panic!("blocking Agent::suspend on a run-to-completion segment");
+    }
+
+    fn waiter(&self) -> Waiter {
+        self.waiter.clone()
+    }
+
+    fn trace_actor(&self) -> ActorId {
+        self.actor
+    }
+
+    fn recorder(&self) -> &TraceRecorder {
+        self.recorder
+    }
+
+    fn kernel(&mut self) -> &mut dyn rtsim_kernel::KernelHandle {
+        self.ctx
+    }
+
+    fn lock_preemption(&mut self) {
+        if let Some((engine, me)) = &self.lock_target {
+            engine::lock_preemption(engine.as_ref(), *me);
+        }
+    }
+
+    fn unlock_preemption(&mut self) {
+        if self.lock_target.is_some() {
+            panic!("blocking Agent::unlock_preemption on a run-to-completion segment");
+        }
+    }
+
+    fn reschedule(&mut self) {
+        if self.lock_target.is_some() {
+            panic!("blocking Agent::reschedule on a run-to-completion segment");
+        }
+    }
+}
+
+impl std::fmt::Debug for SegAgent<'_, '_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegAgent").field("actor", &self.actor).finish()
+    }
+}

@@ -14,15 +14,23 @@
 //! Requests are carried in a shared queue rather than in the event itself,
 //! so notifications that land while the RTOS coroutine is busy consuming
 //! overhead time are never lost.
+//!
+//! The coroutine's body is factored into non-blocking pieces so it can be
+//! driven either by a blocking loop on its own thread ([`ExecMode::Thread`])
+//! or as a run-to-completion state machine inside the scheduler loop
+//! ([`ExecMode::Segment`]); both orderings of state mutations, trace
+//! records and waits are identical.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rtsim_kernel::sync::Mutex;
-use rtsim_kernel::{Event, ProcessContext, SimDuration, Simulator};
+use rtsim_kernel::{
+    Event, ExecMode, KernelHandle, SegStep, SimDuration, SimTime, Simulator, WaitRequest,
+};
 use rtsim_trace::{OverheadKind, TaskState};
 
-use crate::engine::{Engine, EngineKind, RtosState};
+use crate::engine::{Engine, EngineKind, RelStep, RtosState};
 use crate::task::TaskId;
 
 /// A message from a task (or hardware function) to the RTOS coroutine.
@@ -47,7 +55,8 @@ pub(crate) struct ThreadEngine {
 }
 
 impl ThreadEngine {
-    /// Creates the engine and spawns the RTOS coroutine.
+    /// Creates the engine and spawns the RTOS coroutine (a blocking
+    /// process thread or an inline segment, per the simulator's mode).
     pub fn new(sim: &mut Simulator, shared: Arc<Mutex<RtosState>>) -> Arc<Self> {
         let name = shared.lock().name.clone();
         let rtk_run = sim.event(&format!("{name}.RTKRun"));
@@ -57,43 +66,156 @@ impl ThreadEngine {
             rtk_run,
         });
         let requests = Arc::clone(&engine.requests);
-        sim.spawn(&format!("{name}.rtos"), move |ctx| {
-            // Let all t=0 activations register before the first election.
-            ctx.wait_for(SimDuration::ZERO);
-            shared.lock().started = true;
-            loop {
-                let req = requests.lock().pop_front();
-                match req {
-                    Some(Request::Ready(t)) => apply_ready(&shared, ctx, t),
-                    Some(Request::GiveUp {
-                        me,
-                        next_state,
-                        requeue,
-                    }) => handle_give_up(&shared, &requests, ctx, me, next_state, requeue),
-                    None => {
-                        if needs_dispatch(&shared) {
-                            idle_dispatch(&shared, &requests, ctx);
-                        } else {
-                            ctx.wait_event(rtk_run);
+        let proc_name = format!("{name}.rtos");
+        match sim.exec_mode() {
+            ExecMode::Thread => {
+                sim.spawn(&proc_name, move |ctx| {
+                    // Let all t=0 activations register before the first election.
+                    ctx.wait_for(SimDuration::ZERO);
+                    shared.lock().started = true;
+                    loop {
+                        let req = requests.lock().pop_front();
+                        match req {
+                            Some(Request::Ready(t)) => apply_ready(&shared, ctx, t),
+                            Some(Request::GiveUp {
+                                me,
+                                next_state,
+                                requeue,
+                            }) => {
+                                let save =
+                                    give_up_begin(&shared, ctx.now(), me, next_state, requeue);
+                                ctx.wait_for(save);
+                                let sched = give_up_sched(&shared, ctx.now(), me);
+                                ctx.wait_for(sched);
+                                drain_ready_requests(&shared, &requests, ctx);
+                                if let Some((next, load)) = elect(&shared, ctx.now(), None) {
+                                    ctx.wait_for(load);
+                                    grant_and_notify(&shared, ctx, next);
+                                }
+                            }
+                            None => {
+                                if needs_dispatch(&shared) {
+                                    let start = ctx.now();
+                                    let sched = idle_sched_eval(&shared, start);
+                                    ctx.wait_for(sched);
+                                    drain_ready_requests(&shared, &requests, ctx);
+                                    if let Some((next, load)) =
+                                        elect(&shared, ctx.now(), Some((start, sched)))
+                                    {
+                                        ctx.wait_for(load);
+                                        grant_and_notify(&shared, ctx, next);
+                                    }
+                                } else {
+                                    ctx.wait_event(rtk_run);
+                                }
+                            }
                         }
                     }
-                }
+                });
             }
-        });
+            ExecMode::Segment => {
+                let mut phase = RtosPhase::Boot;
+                sim.spawn_segment(&proc_name, move |ctx| {
+                    loop {
+                        match phase {
+                            RtosPhase::Boot => {
+                                phase = RtosPhase::Start;
+                                return SegStep::Yield(WaitRequest::time(SimDuration::ZERO));
+                            }
+                            RtosPhase::Start => {
+                                shared.lock().started = true;
+                                phase = RtosPhase::Main;
+                            }
+                            RtosPhase::Main => {
+                                let req = requests.lock().pop_front();
+                                match req {
+                                    Some(Request::Ready(t)) => apply_ready(&shared, ctx, t),
+                                    Some(Request::GiveUp {
+                                        me,
+                                        next_state,
+                                        requeue,
+                                    }) => {
+                                        let save = give_up_begin(
+                                            &shared,
+                                            ctx.now(),
+                                            me,
+                                            next_state,
+                                            requeue,
+                                        );
+                                        phase = RtosPhase::AfterSave { me };
+                                        return SegStep::Yield(WaitRequest::time(save));
+                                    }
+                                    None => {
+                                        if needs_dispatch(&shared) {
+                                            let start = ctx.now();
+                                            let sched = idle_sched_eval(&shared, start);
+                                            phase = RtosPhase::AfterSched {
+                                                attr: Some((start, sched)),
+                                            };
+                                            return SegStep::Yield(WaitRequest::time(sched));
+                                        }
+                                        return SegStep::Yield(WaitRequest::event(rtk_run));
+                                    }
+                                }
+                            }
+                            RtosPhase::AfterSave { me } => {
+                                let sched = give_up_sched(&shared, ctx.now(), me);
+                                phase = RtosPhase::AfterSched { attr: None };
+                                return SegStep::Yield(WaitRequest::time(sched));
+                            }
+                            RtosPhase::AfterSched { attr } => {
+                                drain_ready_requests(&shared, &requests, ctx);
+                                match elect(&shared, ctx.now(), attr) {
+                                    Some((next, load)) => {
+                                        phase = RtosPhase::AfterLoad { next };
+                                        return SegStep::Yield(WaitRequest::time(load));
+                                    }
+                                    None => phase = RtosPhase::Main,
+                                }
+                            }
+                            RtosPhase::AfterLoad { next } => {
+                                grant_and_notify(&shared, ctx, next);
+                                phase = RtosPhase::Main;
+                            }
+                        }
+                    }
+                });
+            }
+        }
         engine
     }
 
-    fn post(&self, ctx: &mut ProcessContext, request: Request) {
+    fn post(&self, h: &mut dyn KernelHandle, request: Request) {
         self.requests.lock().push_back(request);
-        ctx.notify(self.rtk_run);
+        h.notify(self.rtk_run);
     }
 }
 
+/// Resume point of the segment-mode RTOS state machine.
+#[derive(Debug, Clone, Copy)]
+enum RtosPhase {
+    /// Not yet yielded the t=0 settling wait.
+    Boot,
+    /// The settling wait elapsed; mark the RTOS started.
+    Start,
+    /// Top of the request loop.
+    Main,
+    /// Context-save wait of a give-up elapsed.
+    AfterSave { me: TaskId },
+    /// Scheduling wait elapsed; `attr` carries the idle-dispatch
+    /// back-attribution of the already-consumed scheduling segment.
+    AfterSched {
+        attr: Option<(SimTime, SimDuration)>,
+    },
+    /// Context-load wait elapsed; grant the CPU.
+    AfterLoad { next: TaskId },
+}
+
 /// Applies a `TaskIsReady` notification (no simulated time passes).
-fn apply_ready(shared: &Mutex<RtosState>, ctx: &mut ProcessContext, target: TaskId) {
+fn apply_ready(shared: &Mutex<RtosState>, h: &mut dyn KernelHandle, target: TaskId) {
     let notify = {
         let mut st = shared.lock();
-        let now = ctx.now();
+        let now = h.now();
         match st.entry(target).state {
             TaskState::Ready | TaskState::Running | TaskState::Terminated => return,
             _ => {}
@@ -109,7 +231,7 @@ fn apply_ready(shared: &Mutex<RtosState>, ctx: &mut ProcessContext, target: Task
         }
     };
     if let Some(ev) = notify {
-        ctx.notify(ev);
+        h.notify(ev);
     }
 }
 
@@ -120,7 +242,7 @@ fn apply_ready(shared: &Mutex<RtosState>, ctx: &mut ProcessContext, target: Task
 fn drain_ready_requests(
     shared: &Mutex<RtosState>,
     requests: &Mutex<VecDeque<Request>>,
-    ctx: &mut ProcessContext,
+    h: &mut dyn KernelHandle,
 ) {
     loop {
         let next = {
@@ -131,50 +253,43 @@ fn drain_ready_requests(
             }
         };
         match next {
-            Some(Request::Ready(t)) => apply_ready(shared, ctx, t),
+            Some(Request::Ready(t)) => apply_ready(shared, h, t),
             _ => return,
         }
     }
 }
 
-/// The RTOS coroutine processes a task giving up the CPU: context save,
-/// scheduling, then dispatch — all on the RTOS timeline (Figure 3).
-fn handle_give_up(
+/// First half of a give-up: leave Running, record + return the
+/// context-save duration (Figure 3, on the RTOS timeline).
+fn give_up_begin(
     shared: &Mutex<RtosState>,
-    requests: &Mutex<VecDeque<Request>>,
-    ctx: &mut ProcessContext,
+    now: SimTime,
     me: TaskId,
     next_state: TaskState,
     requeue: bool,
-) {
-    let save = {
-        let mut st = shared.lock();
-        let now = ctx.now();
-        debug_assert_eq!(st.running, Some(me), "give-up from a non-running task");
-        st.stats.scheduler_runs += 1;
-        st.running = None;
-        if requeue {
-            st.enqueue_ready(me, now, false);
-        } else {
-            st.set_task_state(me, now, next_state);
-        }
-        let view = st.rtos_view(now);
-        let save = st.overheads.context_save.eval(&view);
-        st.record_overhead(me, now, OverheadKind::ContextSave, save);
-        save
-    };
-    ctx.wait_for(save);
-    let sched = {
-        let mut st = shared.lock();
-        let now = ctx.now();
-        let view = st.rtos_view(now);
-        let sched = st.overheads.scheduling.eval(&view);
-        st.record_overhead(me, now, OverheadKind::Scheduling, sched);
-        sched
-    };
-    ctx.wait_for(sched);
-    drain_ready_requests(shared, requests, ctx);
-    dispatch_elected(shared, ctx, None);
+) -> SimDuration {
+    let mut st = shared.lock();
+    debug_assert_eq!(st.running, Some(me), "give-up from a non-running task");
+    st.stats.scheduler_runs += 1;
+    st.running = None;
+    if requeue {
+        st.enqueue_ready(me, now, false);
+    } else {
+        st.set_task_state(me, now, next_state);
+    }
+    let view = st.rtos_view(now);
+    let save = st.overheads.context_save.eval(&view);
+    st.record_overhead(me, now, OverheadKind::ContextSave, save);
+    save
+}
+
+/// Second half of a give-up: record + return the scheduling duration.
+fn give_up_sched(shared: &Mutex<RtosState>, now: SimTime, me: TaskId) -> SimDuration {
+    let mut st = shared.lock();
+    let view = st.rtos_view(now);
+    let sched = st.overheads.scheduling.eval(&view);
+    st.record_overhead(me, now, OverheadKind::Scheduling, sched);
+    sched
 }
 
 /// True when the processor is idle with work queued.
@@ -183,51 +298,39 @@ fn needs_dispatch(shared: &Mutex<RtosState>) -> bool {
     st.started && st.running.is_none() && !st.ready.is_empty()
 }
 
-/// Dispatch from idle: the RTOS consumes the scheduling duration, then
-/// elects and loads. The scheduling segment is attributed to the elected
-/// task once it is known.
-fn idle_dispatch(
-    shared: &Mutex<RtosState>,
-    requests: &Mutex<VecDeque<Request>>,
-    ctx: &mut ProcessContext,
-) {
-    let start = ctx.now();
-    let sched = {
-        let st = shared.lock();
-        let view = st.rtos_view(start);
-        st.overheads.scheduling.eval(&view)
-    };
-    ctx.wait_for(sched);
-    drain_ready_requests(shared, requests, ctx);
-    dispatch_elected(shared, ctx, Some((start, sched)));
+/// Scheduling duration for an idle dispatch. Not recorded yet — it is
+/// back-attributed to the elected task once known (see [`elect`]).
+fn idle_sched_eval(shared: &Mutex<RtosState>, start: SimTime) -> SimDuration {
+    let st = shared.lock();
+    let view = st.rtos_view(start);
+    st.overheads.scheduling.eval(&view)
 }
 
-/// Elects the next task, consumes the context-load duration on the RTOS
-/// timeline and grants the CPU. `sched_attr` back-attributes an already
-/// consumed scheduling segment to the elected task.
-fn dispatch_elected(
+/// Elects the next task and records its overhead segments. `sched_attr`
+/// back-attributes an already consumed scheduling segment to the elected
+/// task. Returns the winner and the context-load duration to consume on
+/// the RTOS timeline before granting.
+fn elect(
     shared: &Mutex<RtosState>,
-    ctx: &mut ProcessContext,
-    sched_attr: Option<(rtsim_kernel::SimTime, SimDuration)>,
-) {
-    let elected = {
-        let mut st = shared.lock();
-        let now = ctx.now();
-        st.pick_next(now).map(|next| {
-            if let Some((at, d)) = sched_attr {
-                st.record_overhead(next, at, OverheadKind::Scheduling, d);
-            }
-            let view = st.rtos_view(now);
-            let load = st.overheads.context_load.eval(&view);
-            st.record_overhead(next, now, OverheadKind::ContextLoad, load);
-            (next, load)
-        })
-    };
-    if let Some((next, load)) = elected {
-        ctx.wait_for(load);
-        let ev = shared.lock().grant(next, None, None);
-        ctx.notify(ev);
-    }
+    now: SimTime,
+    sched_attr: Option<(SimTime, SimDuration)>,
+) -> Option<(TaskId, SimDuration)> {
+    let mut st = shared.lock();
+    st.pick_next(now).map(|next| {
+        if let Some((at, d)) = sched_attr {
+            st.record_overhead(next, at, OverheadKind::Scheduling, d);
+        }
+        let view = st.rtos_view(now);
+        let load = st.overheads.context_load.eval(&view);
+        st.record_overhead(next, now, OverheadKind::ContextLoad, load);
+        (next, load)
+    })
+}
+
+/// Grants the CPU to `next` and notifies its run event.
+fn grant_and_notify(shared: &Mutex<RtosState>, h: &mut dyn KernelHandle, next: TaskId) {
+    let ev = shared.lock().grant(next, None, None);
+    h.notify(ev);
 }
 
 impl Engine for ThreadEngine {
@@ -239,24 +342,28 @@ impl Engine for ThreadEngine {
         EngineKind::DedicatedThread
     }
 
-    fn relinquish(
+    fn relinquish_step(
         &self,
-        ctx: &mut ProcessContext,
+        h: &mut dyn KernelHandle,
         me: TaskId,
         next_state: TaskState,
         requeue: bool,
-    ) {
+        _phase: u8,
+    ) -> RelStep {
+        // Approach A gives up by messaging the RTOS coroutine; the caller
+        // has nothing to wait for here (it blocks in `acquire` instead).
         self.post(
-            ctx,
+            h,
             Request::GiveUp {
                 me,
                 next_state,
                 requeue,
             },
         );
+        RelStep::Done
     }
 
-    fn make_ready(&self, ctx: &mut ProcessContext, target: TaskId) {
-        self.post(ctx, Request::Ready(target));
+    fn make_ready(&self, h: &mut dyn KernelHandle, target: TaskId) {
+        self.post(h, Request::Ready(target));
     }
 }

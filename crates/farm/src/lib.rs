@@ -38,6 +38,6 @@ pub mod scenarios;
 pub use fingerprint::{fingerprint, Fingerprint, Fnv1a};
 pub use golden::{diff, goldens_path, parse_cell_key, parse_line, render, render_csv, DiffOutcome};
 pub use registry::{
-    run_matrix, run_matrix_sharded, Cell, CellResult, MatrixRun, PolicyKind, Scenario, FARM_SEED,
-    SCENARIOS,
+    run_cell, run_cell_with_mode, run_matrix, run_matrix_sharded, Cell, CellResult, MatrixRun,
+    PolicyKind, Scenario, FARM_SEED, SCENARIOS,
 };

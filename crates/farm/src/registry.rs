@@ -4,7 +4,7 @@
 use rtsim_comm::LockMode;
 use rtsim_core::policy::{PolicyView, TaskView};
 use rtsim_core::{policies, EngineKind, SchedulingPolicy};
-use rtsim_kernel::{SimDuration, SimTime};
+use rtsim_kernel::{ExecMode, SimDuration, SimTime};
 use rtsim_mcse::SystemModel;
 
 use crate::fingerprint::{fingerprint, Fingerprint};
@@ -258,10 +258,30 @@ pub fn smoke_matrix() -> Vec<Cell> {
 /// Panics on an unknown scenario name or a model/kernel error — inside a
 /// campaign the panic is caught and reported as that cell's failure.
 pub fn run_cell(cell: Cell) -> CellResult {
+    run_cell_inner(cell, None)
+}
+
+/// [`run_cell`] pinned to one kernel execution mode (thread-backed
+/// processes or run-to-completion segments), immune to the
+/// `RTSIM_EXEC_MODE` environment. The two modes must reduce every cell
+/// to the same fingerprint — the cross-mode differential suite sweeps
+/// the whole matrix through this.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name or a model/kernel error.
+pub fn run_cell_with_mode(cell: Cell, mode: ExecMode) -> CellResult {
+    run_cell_inner(cell, Some(mode))
+}
+
+fn run_cell_inner(cell: Cell, mode: Option<ExecMode>) -> CellResult {
     let scenario = scenario_by_name(cell.scenario)
         .unwrap_or_else(|| panic!("unknown scenario `{}`", cell.scenario));
     let mut model = (scenario.build)();
     model.override_schedulers(cell.preemptive, |_| cell.policy.make());
+    if let Some(mode) = mode {
+        model.exec_mode(mode);
+    }
     let mut system = model.elaborate().expect("scenario elaborates");
     system
         .run_until(SimTime::ZERO + scenario.horizon)

@@ -29,8 +29,9 @@
 use rtsim_comm::{EventPolicy, LockMode};
 use rtsim_core::policies::PriorityPreemptive;
 use rtsim_core::{EngineKind, Overheads, TaskConfig};
-use rtsim_kernel::SimDuration;
-use rtsim_mcse::{Mapping, Message, SystemModel, TimingConstraint};
+use rtsim_kernel::{SimDuration, SimTime};
+use rtsim_mcse::script as s;
+use rtsim_mcse::{Mapping, Message, Regs, SystemModel, TimingConstraint};
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -55,35 +56,34 @@ pub fn figure6_system(engine: EngineKind) -> SystemModel {
         true,
         engine,
     );
-    model.function(TaskConfig::new("Clock"), |agent, io| {
-        let clk = io.event("Clk");
-        agent.delay(us(100));
-        agent.annotate("clk_edge");
-        clk.signal(agent);
-        agent.delay(us(300));
-        agent.annotate("clk_edge");
-        clk.signal(agent);
-    });
-    model.function(TaskConfig::new("Function_1").priority(5), |agent, io| {
-        let clk = io.event("Clk");
-        let event_1 = io.event("Event_1");
-        for _ in 0..2 {
-            clk.wait(agent);
-            agent.execute(us(20));
-            event_1.signal(agent);
-            agent.execute(us(20));
-        }
-    });
-    model.function(TaskConfig::new("Function_2").priority(3), |agent, io| {
-        let event_1 = io.event("Event_1");
-        for _ in 0..2 {
-            event_1.wait(agent);
-            agent.execute(us(30));
-        }
-    });
-    model.function(TaskConfig::new("Function_3").priority(2), |agent, _io| {
-        agent.execute(us(500));
-    });
+    model.function_script(
+        TaskConfig::new("Clock"),
+        vec![
+            s::delay(us(100)),
+            s::note("clk_edge"),
+            s::signal("Clk"),
+            s::delay(us(300)),
+            s::note("clk_edge"),
+            s::signal("Clk"),
+        ],
+    );
+    model.function_script(
+        TaskConfig::new("Function_1").priority(5),
+        vec![s::repeat(
+            2,
+            vec![
+                s::await_event("Clk"),
+                s::exec(us(20)),
+                s::signal("Event_1"),
+                s::exec(us(20)),
+            ],
+        )],
+    );
+    model.function_script(
+        TaskConfig::new("Function_2").priority(3),
+        vec![s::repeat(2, vec![s::await_event("Event_1"), s::exec(us(30))])],
+    );
+    model.function_script(TaskConfig::new("Function_3").priority(2), vec![s::exec(us(500))]);
     model.map("Clock", Mapping::Hardware);
     for f in ["Function_1", "Function_2", "Function_3"] {
         model.map_to_processor(f, "Processor");
@@ -112,26 +112,28 @@ pub fn figure7_system(engine: EngineKind, mode: LockMode) -> SystemModel {
         true,
         engine,
     );
-    model.function(TaskConfig::new("Clock"), |agent, io| {
-        let clk = io.event("Clk");
-        agent.delay(us(50));
-        clk.signal(agent);
-    });
-    model.function(TaskConfig::new("Function_1").priority(5), |agent, io| {
-        io.event("Clk").wait(agent);
-        agent.execute(us(30));
-    });
-    model.function(TaskConfig::new("Function_2").priority(3), |agent, io| {
-        agent.delay(us(60));
-        agent.annotate("f2_wants_var");
-        let _ = io.var("SharedVar_1").read_for(agent, us(10));
-        agent.annotate("f2_got_var");
-        agent.execute(us(10));
-    });
-    model.function(TaskConfig::new("Function_3").priority(2), |agent, io| {
-        let _ = io.var("SharedVar_1").read_for(agent, us(100));
-        agent.execute(us(50));
-    });
+    model.function_script(
+        TaskConfig::new("Clock"),
+        vec![s::delay(us(50)), s::signal("Clk")],
+    );
+    model.function_script(
+        TaskConfig::new("Function_1").priority(5),
+        vec![s::await_event("Clk"), s::exec(us(30))],
+    );
+    model.function_script(
+        TaskConfig::new("Function_2").priority(3),
+        vec![
+            s::delay(us(60)),
+            s::note("f2_wants_var"),
+            s::var_read("SharedVar_1", us(10)),
+            s::note("f2_got_var"),
+            s::exec(us(10)),
+        ],
+    );
+    model.function_script(
+        TaskConfig::new("Function_3").priority(2),
+        vec![s::var_read("SharedVar_1", us(100)), s::exec(us(50))],
+    );
     model.map("Clock", Mapping::Hardware);
     for f in ["Function_1", "Function_2", "Function_3"] {
         model.map_to_processor(f, "Processor");
@@ -155,14 +157,12 @@ pub fn ab_stress_system(engine: EngineKind, tasks: usize, rounds: u64) -> System
     );
     for i in 0..tasks {
         let name = format!("t{i}");
-        model.function(
+        model.function_script(
             TaskConfig::new(&name).priority(i as u32 + 1),
-            move |agent, _io| {
-                for _ in 0..rounds {
-                    agent.execute(us(1));
-                    agent.delay(us(1 + i as u64));
-                }
-            },
+            vec![s::repeat(
+                rounds,
+                vec![s::exec(us(1)), s::delay(us(1 + i as u64))],
+            )],
         );
         model.map_to_processor(&name, "CPU");
     }
@@ -180,23 +180,15 @@ pub fn quickstart_system() -> SystemModel {
     let mut model = SystemModel::new("quickstart");
     model.event("Irq", EventPolicy::Counter);
     model.software_processor("CPU0", Overheads::uniform(us(5)));
-    model.function(TaskConfig::new("timer"), |agent, io| {
-        let irq = io.event("Irq");
-        for _ in 0..4 {
-            agent.delay(us(150));
-            irq.signal(agent);
-        }
-    });
-    model.function(TaskConfig::new("irq_handler").priority(9), |agent, io| {
-        let irq = io.event("Irq");
-        for _ in 0..4 {
-            irq.wait(agent);
-            agent.execute(us(20));
-        }
-    });
-    model.function(TaskConfig::new("background").priority(1), |agent, _io| {
-        agent.execute(us(600));
-    });
+    model.function_script(
+        TaskConfig::new("timer"),
+        vec![s::repeat(4, vec![s::delay(us(150)), s::signal("Irq")])],
+    );
+    model.function_script(
+        TaskConfig::new("irq_handler").priority(9),
+        vec![s::repeat(4, vec![s::await_event("Irq"), s::exec(us(20))])],
+    );
+    model.function_script(TaskConfig::new("background").priority(1), vec![s::exec(us(600))]);
     model.map("timer", Mapping::Hardware);
     model.map_to_processor("irq_handler", "CPU0");
     model.map_to_processor("background", "CPU0");
@@ -263,9 +255,7 @@ pub fn contended_system() -> SystemModel {
         );
         model.map_to_processor(&name, "CPU");
     }
-    model.function(TaskConfig::new("bg").priority(1), |agent, _io| {
-        agent.execute(us(2_000));
-    });
+    model.function_script(TaskConfig::new("bg").priority(1), vec![s::exec(us(2_000))]);
     model.map_to_processor("bg", "CPU");
     model
 }
@@ -348,190 +338,127 @@ pub fn mpeg2_system(config: &Mpeg2Config) -> SystemModel {
         );
     }
 
+    // A read/compute/forward pipeline stage, shared by most functions.
+    let stage = |input: &str, cost: SimDuration, output: &str| {
+        vec![s::repeat(
+            frames,
+            vec![
+                s::q_read(input),
+                s::exec(cost),
+                s::q_write(output, |r: &Regs| r.msg),
+            ],
+        )]
+    };
+
     // ---- hardware functions (6) ------------------------------------
-    model.function(TaskConfig::new("video_in"), move |agent, io| {
-        let q = io.queue("q_raw");
-        for id in 0..frames {
-            agent.delay(period);
-            agent.annotate("frame_in");
-            q.write(agent, Message::new(id, 152_064)); // 352x288 YUV420
-        }
-    });
-    model.function(TaskConfig::new("dct_accel"), move |agent, io| {
-        let input = io.queue("q_dct_in");
-        let output = io.queue("q_dct_out");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            agent.execute(us(400));
-            output.write(agent, m);
-        }
-    });
-    model.function(TaskConfig::new("idct_accel"), move |agent, io| {
-        let input = io.queue("q_idct_in");
-        let output = io.queue("q_idct_out");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            agent.execute(us(400));
-            output.write(agent, m);
-        }
-    });
-    model.function(TaskConfig::new("net_loop"), move |agent, io| {
-        let input = io.queue("q_stream");
-        let output = io.queue("q_rx");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            agent.execute(us(100)); // transmission latency
-            output.write(agent, m);
-        }
-    });
-    model.function(TaskConfig::new("video_out"), move |agent, io| {
-        let q = io.queue("q_display");
-        for _ in 0..frames {
-            let _frame = q.read(agent);
-            agent.annotate("frame_out");
-            agent.execute(us(50));
-        }
-    });
+    model.function_script(
+        TaskConfig::new("video_in"),
+        vec![s::repeat(
+            frames,
+            vec![
+                s::delay(period),
+                s::note("frame_in"),
+                // 352x288 YUV420
+                s::q_write("q_raw", |r: &Regs| Message::new(r.k, 152_064)),
+            ],
+        )],
+    );
+    model.function_script(
+        TaskConfig::new("dct_accel"),
+        stage("q_dct_in", us(400), "q_dct_out"),
+    );
+    model.function_script(
+        TaskConfig::new("idct_accel"),
+        stage("q_idct_in", us(400), "q_idct_out"),
+    );
+    // net_loop's cost models the transmission latency.
+    model.function_script(
+        TaskConfig::new("net_loop"),
+        stage("q_stream", us(100), "q_rx"),
+    );
+    model.function_script(
+        TaskConfig::new("video_out"),
+        vec![s::repeat(
+            frames,
+            vec![s::q_read("q_display"), s::note("frame_out"), s::exec(us(50))],
+        )],
+    );
     // ---- CPU0: encoder front-end (6 software functions) -------------
-    model.function(
+    model.function_script(
         TaskConfig::new("preprocess").priority(6),
-        move |agent, io| {
-            let input = io.queue("q_raw");
-            let output = io.queue("q_pre");
-            for _ in 0..frames {
-                let m = input.read(agent);
-                agent.execute(us(300));
-                output.write(agent, m);
-            }
-        },
+        stage("q_raw", us(300), "q_pre"),
     );
-    model.function(
+    model.function_script(
         TaskConfig::new("motion_est").priority(5),
-        move |agent, io| {
-            let input = io.queue("q_pre");
-            let output = io.queue("q_me");
-            for _ in 0..frames {
-                let m = input.read(agent);
-                agent.execute(us(800));
-                output.write(agent, m);
-            }
-        },
+        stage("q_pre", us(800), "q_me"),
     );
-    model.function(
+    model.function_script(
         TaskConfig::new("dct_driver").priority(5),
-        move |agent, io| {
-            let input = io.queue("q_me");
-            let output = io.queue("q_dct_in");
-            for _ in 0..frames {
-                let m = input.read(agent);
-                agent.execute(us(50));
-                output.write(agent, m);
-            }
-        },
+        stage("q_me", us(50), "q_dct_in"),
     );
-    model.function(TaskConfig::new("quantize").priority(4), move |agent, io| {
-        let input = io.queue("q_dct_out");
-        let output = io.queue("q_quant");
-        let bitrate = io.var("bitrate");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            let level = bitrate.read(agent);
-            agent.execute(us(200) + us(1) * (level.size % 64));
-            output.write(agent, m);
-        }
-    });
-    model.function(
+    model.function_script(
+        TaskConfig::new("quantize").priority(4),
+        vec![s::repeat(
+            frames,
+            vec![
+                s::q_read("q_dct_out"),
+                s::var_read("bitrate", us(0)),
+                s::exec_with(|r: &Regs| us(200) + us(1) * (r.var.size % 64)),
+                s::q_write("q_quant", |r: &Regs| r.msg),
+            ],
+        )],
+    );
+    model.function_script(
         TaskConfig::new("rate_control")
             .priority(7)
             .period(period / 2),
-        move |agent, io| {
-            let bitrate = io.var("bitrate");
-            for k in 0..frames * 2 {
-                agent.delay(period / 2);
-                bitrate.write_for(agent, us(20), Message::new(k, 8 + k % 32));
-                agent.execute(us(80));
-            }
-        },
+        vec![s::repeat(
+            frames * 2,
+            vec![
+                s::delay(period / 2),
+                s::var_write("bitrate", us(20), |r: &Regs| {
+                    Message::new(r.k, 8 + r.k % 32)
+                }),
+                s::exec(us(80)),
+            ],
+        )],
     );
-    model.function(
+    model.function_script(
         TaskConfig::new("enc_ctrl").priority(8).period(period),
-        move |agent, _io| {
-            for _ in 0..frames {
-                agent.delay(period);
-                agent.execute(us(50));
-            }
-        },
+        vec![s::repeat(frames, vec![s::delay(period), s::exec(us(50))])],
     );
 
     // ---- CPU1: bitstream back-end (3 software functions) ------------
-    model.function(TaskConfig::new("vlc").priority(5), move |agent, io| {
-        let input = io.queue("q_quant");
-        let output = io.queue("q_vlc");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            agent.execute(us(500));
-            output.write(agent, m);
-        }
-    });
-    model.function(TaskConfig::new("mux").priority(4), move |agent, io| {
-        let input = io.queue("q_vlc");
-        let output = io.queue("q_stream");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            agent.execute(us(100));
-            output.write(agent, m);
-        }
-    });
-    model.function(
+    model.function_script(
+        TaskConfig::new("vlc").priority(5),
+        stage("q_quant", us(500), "q_vlc"),
+    );
+    model.function_script(
+        TaskConfig::new("mux").priority(4),
+        stage("q_vlc", us(100), "q_stream"),
+    );
+    model.function_script(
         TaskConfig::new("audio_enc").priority(3).period(period),
-        move |agent, _io| {
-            for _ in 0..frames {
-                agent.delay(period);
-                agent.execute(us(250));
-            }
-        },
+        vec![s::repeat(frames, vec![s::delay(period), s::exec(us(250))])],
     );
 
     // ---- CPU2: decoder (4 software functions) -----------------------
-    model.function(TaskConfig::new("demux_vld").priority(6), move |agent, io| {
-        let input = io.queue("q_rx");
-        let output = io.queue("q_vld");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            agent.execute(us(350));
-            output.write(agent, m);
-        }
-    });
-    model.function(TaskConfig::new("dequant").priority(5), move |agent, io| {
-        let input = io.queue("q_vld");
-        let output = io.queue("q_idct_in");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            agent.execute(us(250));
-            output.write(agent, m);
-        }
-    });
-    model.function(
-        TaskConfig::new("motion_comp").priority(4),
-        move |agent, io| {
-            let input = io.queue("q_idct_out");
-            let output = io.queue("q_mc");
-            for _ in 0..frames {
-                let m = input.read(agent);
-                agent.execute(us(300));
-                output.write(agent, m);
-            }
-        },
+    model.function_script(
+        TaskConfig::new("demux_vld").priority(6),
+        stage("q_rx", us(350), "q_vld"),
     );
-    model.function(TaskConfig::new("postproc").priority(3), move |agent, io| {
-        let input = io.queue("q_mc");
-        let output = io.queue("q_display");
-        for _ in 0..frames {
-            let m = input.read(agent);
-            agent.execute(us(350));
-            output.write(agent, m);
-        }
-    });
+    model.function_script(
+        TaskConfig::new("dequant").priority(5),
+        stage("q_vld", us(250), "q_idct_in"),
+    );
+    model.function_script(
+        TaskConfig::new("motion_comp").priority(4),
+        stage("q_idct_out", us(300), "q_mc"),
+    );
+    model.function_script(
+        TaskConfig::new("postproc").priority(3),
+        stage("q_mc", us(350), "q_display"),
+    );
 
     // ---- mapping -----------------------------------------------------
     for hw in ["video_in", "dct_accel", "idct_accel", "net_loop", "video_out"] {
@@ -628,103 +555,111 @@ pub fn automotive_system(config: &AutomotiveConfig) -> SystemModel {
     }
 
     // -- hardware ------------------------------------------------------
-    model.function(TaskConfig::new("crank_sensor"), move |agent, io| {
-        let isr_ev = io.event("crank_ev_isr");
-        let inj_ev = io.event("crank_ev_inj");
-        for gap in gaps.iter().copied() {
-            agent.delay(gap);
-            agent.annotate("crank");
-            isr_ev.signal(agent);
-            inj_ev.signal(agent);
-        }
-    });
-    model.function(TaskConfig::new("can_bus"), move |agent, io| {
-        let tx = io.queue("q_can");
-        let rx = io.queue("q_dash");
-        loop {
-            let Some(frame) = tx.try_read(agent) else {
-                agent.delay(us(500));
-                if agent.now() > rtsim_kernel::SimTime::ZERO + total + us(20_000) {
-                    return;
-                }
-                continue;
-            };
-            agent.execute(us(200)); // frame transmission
-            rx.write(agent, frame);
-        }
-    });
+    model.function_script(
+        TaskConfig::new("crank_sensor"),
+        vec![s::repeat(
+            pulses,
+            vec![
+                s::delay_with(move |r: &Regs| gaps[r.k as usize]),
+                s::note("crank"),
+                s::signal("crank_ev_isr"),
+                s::signal("crank_ev_inj"),
+            ],
+        )],
+    );
+    // Poll the CAN queue; park 500 us between polls and stop once the
+    // bus has been quiet well past the last crank pulse.
+    let quiet_after = SimTime::ZERO + total + us(20_000);
+    model.function_script(
+        TaskConfig::new("can_bus"),
+        vec![s::forever(vec![
+            s::q_try_read("q_can"),
+            s::if_flag(
+                // frame transmission
+                vec![s::exec(us(200)), s::q_write("q_dash", |r: &Regs| r.msg)],
+                vec![
+                    s::delay(us(500)),
+                    s::if_now_past(move |_| quiet_after, vec![s::ret()]),
+                ],
+            ),
+        ])],
+    );
 
     // -- ECU_engine ----------------------------------------------------
-    model.function(TaskConfig::new("crank_isr").priority(10), move |agent, io| {
-        let ev = io.event("crank_ev_isr");
-        for _ in 0..pulses {
-            ev.wait(agent);
-            agent.execute(us(20));
-            agent.annotate("isr_done");
-        }
-    });
-    model.function(
+    model.function_script(
+        TaskConfig::new("crank_isr").priority(10),
+        vec![s::repeat(
+            pulses,
+            vec![
+                s::await_event("crank_ev_isr"),
+                s::exec(us(20)),
+                s::note("isr_done"),
+            ],
+        )],
+    );
+    model.function_script(
         TaskConfig::new("injection")
             .priority(9)
             .deadline(us(500)),
-        move |agent, io| {
-            let map = io.var("inj_map");
-            let ev = io.event("crank_ev_inj");
-            for _ in 0..pulses {
-                ev.wait(agent);
-                let _curve = map.read_for(agent, us(30));
-                agent.execute(us(120));
-                agent.annotate("injected");
-            }
-        },
+        vec![s::repeat(
+            pulses,
+            vec![
+                s::await_event("crank_ev_inj"),
+                s::var_read("inj_map", us(30)),
+                s::exec(us(120)),
+                s::note("injected"),
+            ],
+        )],
     );
-    model.function(
+    model.function_script(
         TaskConfig::new("knock_monitor")
             .priority(5)
             .period(us(2_000)),
-        move |agent, io| {
-            let q = io.queue("q_telemetry");
-            for k in 0..knock_rounds {
-                agent.delay(us(2_000));
-                agent.execute(us(100));
-                let _ = q.try_write(agent, Message::new(k, 16));
-            }
-        },
+        vec![s::repeat(
+            knock_rounds,
+            vec![
+                s::delay(us(2_000)),
+                s::exec(us(100)),
+                s::q_try_write("q_telemetry", |r: &Regs| Message::new(r.k, 16)),
+            ],
+        )],
     );
-    model.function(TaskConfig::new("can_tx").priority(4), move |agent, io| {
-        let telemetry = io.queue("q_telemetry");
-        let can = io.queue("q_can");
-        for _ in 0..knock_rounds {
-            let frame = telemetry.read(agent);
-            agent.execute(us(50));
-            can.write(agent, frame);
-        }
-    });
-    model.function(
+    model.function_script(
+        TaskConfig::new("can_tx").priority(4),
+        vec![s::repeat(
+            knock_rounds,
+            vec![
+                s::q_read("q_telemetry"),
+                s::exec(us(50)),
+                s::q_write("q_can", |r: &Regs| r.msg),
+            ],
+        )],
+    );
+    model.function_script(
         TaskConfig::new("diagnostics")
             .priority(2)
             .period(us(10_000)),
-        move |agent, io| {
-            let map = io.var("inj_map");
-            for k in 0..diag_rounds {
-                agent.delay(us(10_000));
+        vec![s::repeat(
+            diag_rounds,
+            vec![
+                s::delay(us(10_000)),
                 // Long map recalibration under the PI lock: without
                 // priority inheritance this would stall injection behind
                 // knock_monitor's preemptions.
-                map.write_for(agent, us(200), Message::new(k, 64));
-                agent.execute(us(200));
-            }
-        },
+                s::var_write("inj_map", us(200), |r: &Regs| Message::new(r.k, 64)),
+                s::exec(us(200)),
+            ],
+        )],
     );
 
     // -- ECU_dash ------------------------------------------------------
-    model.function(TaskConfig::new("dash_update").priority(3), move |agent, io| {
-        let q = io.queue("q_dash");
-        for _ in 0..knock_rounds {
-            let _frame = q.read(agent);
-            agent.execute(us(300));
-        }
-    });
+    model.function_script(
+        TaskConfig::new("dash_update").priority(3),
+        vec![s::repeat(
+            knock_rounds,
+            vec![s::q_read("q_dash"), s::exec(us(300))],
+        )],
+    );
 
     for hw in ["crank_sensor", "can_bus"] {
         model.map(hw, Mapping::Hardware);

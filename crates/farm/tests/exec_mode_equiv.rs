@@ -1,0 +1,95 @@
+//! Cross-mode differential suite: the run-to-completion (segment)
+//! kernel must be observationally identical to the thread-backed one.
+//!
+//! Every cell of the farm matrix — every scenario × every policy × both
+//! preemption modes — is run under [`ExecMode::Thread`] and
+//! [`ExecMode::Segment`] and must reduce to bit-identical fingerprints.
+//! The fingerprint hashes the full canonical trace, per-task response
+//! summaries and per-processor scheduler counters, so any divergence —
+//! one record reordered, one preemption moved by a picosecond — fails
+//! the sweep.
+//!
+//! On top of the fingerprint sweep, one cell per scenario is re-run with
+//! direct access to the elaborated system to pin the canonical trace
+//! text and the kernel's own counters (process switches, delta cycles,
+//! timed advances, event wakes) as equal too.
+
+use rtsim_core::EngineKind;
+use rtsim_farm::registry::{full_matrix, scenario_by_name};
+use rtsim_farm::{run_cell_with_mode, Cell, PolicyKind, SCENARIOS};
+use rtsim_kernel::{ExecMode, SimTime};
+use rtsim_trace::canonical;
+
+#[test]
+fn every_farm_cell_fingerprints_identically_in_both_modes() {
+    let mut checked = 0usize;
+    for cell in full_matrix() {
+        let thread = run_cell_with_mode(cell, ExecMode::Thread);
+        let segment = run_cell_with_mode(cell, ExecMode::Segment);
+        assert_eq!(
+            thread.fingerprint,
+            segment.fingerprint,
+            "exec modes diverged on {}",
+            cell.label()
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, SCENARIOS.len() * 7 * 2);
+}
+
+#[test]
+fn traces_and_kernel_counters_match_per_scenario() {
+    for scenario in SCENARIOS {
+        let run = |mode: ExecMode| {
+            let mut model = (scenario.build)();
+            model.exec_mode(mode);
+            let mut system = model.elaborate().expect("scenario elaborates");
+            system
+                .run_until(SimTime::ZERO + scenario.horizon)
+                .expect("scenario runs");
+            (canonical(&system.trace()), system.kernel_stats())
+        };
+        let (thread_trace, thread_stats) = run(ExecMode::Thread);
+        let (segment_trace, segment_stats) = run(ExecMode::Segment);
+        assert_eq!(
+            thread_trace, segment_trace,
+            "canonical trace diverged on {}",
+            scenario.name
+        );
+        assert_eq!(
+            thread_stats, segment_stats,
+            "kernel counters diverged on {}",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn segment_mode_reproduces_pinned_figure6_facts() {
+    let cell = Cell {
+        scenario: "paper_fig6",
+        policy: PolicyKind::Priority,
+        preemptive: true,
+    };
+    let result = run_cell_with_mode(cell, ExecMode::Segment);
+    assert_eq!(result.fingerprint.makespan_ps, 775_000_000);
+    assert_eq!(result.fingerprint.preemptions, 2);
+}
+
+#[test]
+fn segment_mode_agrees_for_the_thread_engine_strategy_too() {
+    // The farm sweeps EngineKind::ProcedureCall (approach B); the
+    // approach-A RTOS model (DedicatedThread) also drives both kernel
+    // modes and must agree with itself across them.
+    let scenario = scenario_by_name("paper_fig6").expect("registered");
+    let run = |mode: ExecMode| {
+        let mut model = rtsim_farm::scenarios::figure6_system(EngineKind::DedicatedThread);
+        model.exec_mode(mode);
+        let mut system = model.elaborate().expect("elaborates");
+        system
+            .run_until(SimTime::ZERO + scenario.horizon)
+            .expect("runs");
+        canonical(&system.trace())
+    };
+    assert_eq!(run(ExecMode::Thread), run(ExecMode::Segment));
+}

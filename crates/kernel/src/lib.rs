@@ -12,6 +12,9 @@
 //!   single-pending-notification override rules ([`Event`]);
 //! - cooperative processes written as plain closures, backed by OS threads
 //!   under a strict one-runner handoff ([`ProcessContext`]);
+//! - run-to-completion **segment** processes — state machines dispatched
+//!   inline by the scheduler with no backing thread ([`SegmentCtx`],
+//!   selected via [`ExecMode`]) — the paper's approach-B cost profile;
 //! - waits with timeouts ([`ProcessContext::wait_event_for`]), the
 //!   primitive from which the RTOS model builds time-accurate preemption;
 //! - a deterministic scheduler with delta cycles and an event wheel
@@ -64,6 +67,7 @@ pub mod error;
 pub mod event;
 pub mod process;
 mod scheduler;
+pub mod segment;
 pub mod simulator;
 pub mod sync;
 pub mod testutil;
@@ -73,5 +77,6 @@ pub use error::KernelError;
 pub use event::{Event, Wake};
 pub use process::{ProcessContext, ProcessId};
 pub use scheduler::KernelStats;
+pub use segment::{ExecMode, KernelHandle, SegStep, SegmentCtx, WaitRequest};
 pub use simulator::Simulator;
 pub use time::{SimDuration, SimTime};

@@ -295,11 +295,33 @@ impl ProcessContext {
     }
 }
 
+/// A segment-process body: a state machine the scheduler calls inline.
+pub(crate) type SegBody =
+    Box<dyn FnMut(&mut crate::segment::SegmentCtx<'_>) -> crate::segment::SegStep + Send + 'static>;
+
+/// How one process is executed: the coroutine-style thread handoff, or a
+/// run-to-completion state machine dispatched inside the scheduler loop.
+pub(crate) enum ProcBackend {
+    /// An OS thread under the one-runner channel handoff.
+    Thread {
+        /// Kernel-to-process resume channel.
+        resume_tx: Sender<ResumeMsg>,
+        /// Join handle, taken at teardown.
+        join: Option<JoinHandle<()>>,
+    },
+    /// A state machine called directly by the scheduler. `None` only
+    /// transiently while a dispatch is in flight, and permanently once the
+    /// segment is done or has panicked.
+    Segment {
+        /// The state machine.
+        body: Option<SegBody>,
+    },
+}
+
 /// Kernel-side record of one spawned process.
 pub(crate) struct ProcHandle {
     pub name: String,
-    pub resume_tx: Sender<ResumeMsg>,
-    pub join: Option<JoinHandle<()>>,
+    pub backend: ProcBackend,
     pub state: ProcState,
     /// Monotonic wait generation: bumped every time the process is woken,
     /// so stale wait-list and timer entries can be detected lazily.
@@ -315,6 +337,39 @@ pub(crate) enum ProcState {
     Waiting,
     /// Body returned (or panicked); the OS thread has exited.
     Dead,
+}
+
+/// Renders a panic payload for [`YieldReason::Panicked`].
+///
+/// `&str` and `String` payloads pass through verbatim. Anything else is
+/// probed against the common primitive payload types, and failing that is
+/// reported with its `TypeId` — enough for farm/campaign panic isolation
+/// to say *which* payload type was lost instead of a bare
+/// "non-string panic payload".
+pub(crate) fn describe_panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_owned();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! probe {
+        ($($ty:ty),* $(,)?) => {
+            $(
+                if let Some(v) = payload.downcast_ref::<$ty>() {
+                    return format!(
+                        "non-string panic payload: {v:?} ({})",
+                        stringify!($ty)
+                    );
+                }
+            )*
+        };
+    }
+    probe!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, bool, char, f32, f64);
+    format!(
+        "non-string panic payload (type_id {:?})",
+        std::any::Any::type_id(payload)
+    )
 }
 
 /// Spawns the OS thread backing one simulation process.
@@ -356,12 +411,7 @@ where
                     if payload.downcast_ref::<ShutdownToken>().is_some() {
                         return; // intentional teardown
                     }
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_owned())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_owned());
-                    YieldReason::Panicked(msg)
+                    YieldReason::Panicked(describe_panic_payload(payload.as_ref()))
                 }
             };
             let _ = yield_tx_outer.send(YieldMsg {
@@ -382,5 +432,26 @@ mod tests {
         let pid = ProcessId(5);
         assert_eq!(pid.to_string(), "process#5");
         assert_eq!(pid.index(), 5);
+    }
+
+    #[test]
+    fn panic_payload_descriptions() {
+        use std::any::Any;
+        let p: Box<dyn Any + Send> = Box::new("boom");
+        assert_eq!(describe_panic_payload(p.as_ref()), "boom");
+        let p: Box<dyn Any + Send> = Box::new(String::from("ow"));
+        assert_eq!(describe_panic_payload(p.as_ref()), "ow");
+        let p: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(
+            describe_panic_payload(p.as_ref()),
+            "non-string panic payload: 42 (u32)"
+        );
+        struct Opaque;
+        let p: Box<dyn Any + Send> = Box::new(Opaque);
+        let desc = describe_panic_payload(p.as_ref());
+        assert!(
+            desc.starts_with("non-string panic payload (type_id"),
+            "{desc}"
+        );
     }
 }

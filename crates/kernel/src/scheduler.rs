@@ -23,9 +23,10 @@ use std::sync::Arc;
 use crate::error::KernelError;
 use crate::event::{Event, Wake};
 use crate::process::{
-    spawn_process, NotifyOp, ProcHandle, ProcState, ProcessContext, ProcessId, ResumeMsg,
-    YieldMsg, YieldReason,
+    describe_panic_payload, spawn_process, NotifyOp, ProcBackend, ProcHandle, ProcState,
+    ProcessContext, ProcessId, ResumeMsg, YieldMsg, YieldReason,
 };
+use crate::segment::{SegStep, SegmentCtx, WaitRequest};
 use crate::sync::{unbounded, Receiver, Sender};
 use crate::time::SimTime;
 
@@ -173,14 +174,37 @@ impl Kernel {
         );
         self.procs.push(ProcHandle {
             name: name.to_owned(),
-            resume_tx,
-            join: Some(join),
+            backend: ProcBackend::Thread {
+                resume_tx,
+                join: Some(join),
+            },
             state: ProcState::Runnable,
             wait_seq: 0,
         });
         self.alive += 1;
         // New processes start in the next evaluation phase, like SC_THREADs
         // at elaboration.
+        self.runnable.push_back((pid, Wake::Timeout));
+        pid
+    }
+
+    /// Spawns a run-to-completion segment process: no OS thread, the body
+    /// is dispatched inline by the run loop. Scheduling-wise it is
+    /// indistinguishable from a thread-backed process.
+    pub fn spawn_segment<F>(&mut self, name: &str, body: F) -> ProcessId
+    where
+        F: FnMut(&mut SegmentCtx<'_>) -> SegStep + Send + 'static,
+    {
+        let pid = ProcessId(u32::try_from(self.procs.len()).expect("too many processes"));
+        self.procs.push(ProcHandle {
+            name: name.to_owned(),
+            backend: ProcBackend::Segment {
+                body: Some(Box::new(body)),
+            },
+            state: ProcState::Runnable,
+            wait_seq: 0,
+        });
+        self.alive += 1;
         self.runnable.push_back((pid, Wake::Timeout));
         pid
     }
@@ -350,6 +374,59 @@ impl Kernel {
         }
     }
 
+    /// Runs `pid` for one slice and returns its yield.
+    ///
+    /// Thread backend: channel handoff to the process thread (one resume
+    /// send, one yield recv — two OS context switches). Segment backend:
+    /// a direct call to the state machine on the kernel's own thread.
+    /// Either way the returned [`YieldMsg`] is applied identically, which
+    /// is what makes the two modes produce the same schedule.
+    fn dispatch(&mut self, pid: ProcessId, wake: Wake) -> YieldMsg {
+        match &mut self.procs[pid.index()].backend {
+            ProcBackend::Thread { resume_tx, .. } => {
+                resume_tx
+                    .send(ResumeMsg::Wake(wake))
+                    .expect("process thread vanished");
+                self.yield_rx
+                    .recv()
+                    .expect("process thread hung up without yielding")
+            }
+            ProcBackend::Segment { body } => {
+                let mut machine = body.take().expect("segment process re-entered");
+                let now = self.now();
+                let mut ops = Vec::new();
+                let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut ctx = SegmentCtx {
+                        pid,
+                        now,
+                        wake,
+                        ops: &mut ops,
+                    };
+                    machine(&mut ctx)
+                }));
+                let reason = match step {
+                    Ok(SegStep::Yield(req)) => {
+                        // Not done: park the state machine for the next wake.
+                        if let ProcBackend::Segment { body } =
+                            &mut self.procs[pid.index()].backend
+                        {
+                            *body = Some(machine);
+                        }
+                        match req {
+                            WaitRequest::Time(d) => YieldReason::WaitTime(d),
+                            WaitRequest::Events { events, timeout } => {
+                                YieldReason::WaitEvents { events, timeout }
+                            }
+                        }
+                    }
+                    Ok(SegStep::Done) => YieldReason::Terminated,
+                    Err(payload) => YieldReason::Panicked(describe_panic_payload(payload.as_ref())),
+                };
+                YieldMsg { pid, ops, reason }
+            }
+        }
+    }
+
     /// Runs until event starvation or (if given) until simulated time
     /// would pass `limit`. Events scheduled exactly at `limit` are
     /// processed.
@@ -360,14 +437,7 @@ impl Kernel {
             while let Some((pid, wake)) = self.runnable.pop_front() {
                 debug_assert_eq!(self.procs[pid.index()].state, ProcState::Runnable);
                 self.stats.process_switches += 1;
-                self.procs[pid.index()]
-                    .resume_tx
-                    .send(ResumeMsg::Wake(wake))
-                    .expect("process thread vanished");
-                let msg = self
-                    .yield_rx
-                    .recv()
-                    .expect("process thread hung up without yielding");
+                let msg = self.dispatch(pid, wake);
                 debug_assert_eq!(msg.pid, pid, "yield from a process that was not running");
                 self.apply_ops(msg.ops);
                 self.apply_reason(msg.pid, msg.reason)?;
@@ -450,14 +520,21 @@ impl Kernel {
 
 impl Drop for Kernel {
     fn drop(&mut self) {
+        // Only thread backends need a teardown handshake; segment state
+        // machines are plain owned values dropped with the handle.
         for proc in &mut self.procs {
-            if proc.state != ProcState::Dead {
-                let _ = proc.resume_tx.send(ResumeMsg::Shutdown);
+            if proc.state == ProcState::Dead {
+                continue;
+            }
+            if let ProcBackend::Thread { resume_tx, .. } = &proc.backend {
+                let _ = resume_tx.send(ResumeMsg::Shutdown);
             }
         }
         for proc in &mut self.procs {
-            if let Some(handle) = proc.join.take() {
-                let _ = handle.join();
+            if let ProcBackend::Thread { join, .. } = &mut proc.backend {
+                if let Some(handle) = join.take() {
+                    let _ = handle.join();
+                }
             }
         }
     }

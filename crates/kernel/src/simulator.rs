@@ -4,6 +4,7 @@ use crate::error::KernelError;
 use crate::event::Event;
 use crate::process::{ProcessContext, ProcessId};
 use crate::scheduler::{Kernel, KernelStats};
+use crate::segment::{ExecMode, SegStep, SegmentCtx};
 use crate::time::SimTime;
 
 /// A discrete-event simulator: the SystemC-engine stand-in that everything
@@ -44,14 +45,36 @@ use crate::time::SimTime;
 /// ```
 pub struct Simulator {
     kernel: Kernel,
+    mode: ExecMode,
 }
 
 impl Simulator {
-    /// Creates an empty simulator at time zero.
+    /// Creates an empty simulator at time zero, with the execution mode
+    /// taken from the `RTSIM_EXEC_MODE` environment variable (`thread` by
+    /// default — see [`ExecMode::from_env`]).
     pub fn new() -> Self {
+        Simulator::with_mode(ExecMode::from_env())
+    }
+
+    /// Creates an empty simulator with an explicit execution mode,
+    /// ignoring the environment. Tests that compare the two modes use
+    /// this to stay immune to env races.
+    pub fn with_mode(mode: ExecMode) -> Self {
         Simulator {
             kernel: Kernel::new(),
+            mode,
         }
+    }
+
+    /// The execution mode this simulator advertises to higher layers.
+    ///
+    /// The kernel itself accepts both [`spawn`](Simulator::spawn) and
+    /// [`spawn_segment`](Simulator::spawn_segment) regardless of mode (a
+    /// blocking closure can never be dispatched inline); the mode tells
+    /// model layers which form to prefer for bodies they can express
+    /// either way.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Creates a named event. See [`Event`] for notification semantics.
@@ -69,6 +92,21 @@ impl Simulator {
         F: FnOnce(&mut ProcessContext) + Send + 'static,
     {
         self.kernel.spawn(name, body)
+    }
+
+    /// Spawns a run-to-completion segment process: a state machine called
+    /// directly inside the scheduler loop, with no backing OS thread.
+    ///
+    /// Each call runs one segment: it receives a [`SegmentCtx`] (clock,
+    /// wake cause, notification buffer) and returns [`SegStep::Yield`]
+    /// with the wait to perform, or [`SegStep::Done`]. Scheduling order,
+    /// statistics and event semantics are identical to thread-backed
+    /// processes — only the host-side cost differs.
+    pub fn spawn_segment<F>(&mut self, name: &str, body: F) -> ProcessId
+    where
+        F: FnMut(&mut SegmentCtx<'_>) -> SegStep + Send + 'static,
+    {
+        self.kernel.spawn_segment(name, body)
     }
 
     /// Runs until event starvation (no runnable process and no pending
@@ -184,6 +222,7 @@ impl Default for Simulator {
 impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
+            .field("mode", &self.mode)
             .field("now", &self.now())
             .field("processes", &self.process_count())
             .field("alive", &self.alive_processes())

@@ -93,6 +93,20 @@ pub struct SendError<T>(pub T);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::try_recv`].
+///
+/// A poller must be able to tell "nothing yet, come back later" from "all
+/// senders are gone, nothing will ever arrive" — collapsing both to one
+/// value makes a polling loop on a dead channel spin forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel has no message right now, but senders are still alive.
+    Empty,
+    /// Every sender was dropped and the buffer is drained; no message
+    /// will ever arrive.
+    Disconnected,
+}
+
 /// Creates an unbounded FIFO channel (the `SyncChannel` handoff pair).
 ///
 /// API-compatible with the subset of `crossbeam::channel::unbounded` the
@@ -136,11 +150,15 @@ impl<T> Receiver<T> {
         self.0.recv().map_err(|_| RecvError)
     }
 
-    /// Non-blocking receive; `None` when the channel is currently empty
-    /// or disconnected.
+    /// Non-blocking receive, distinguishing a merely-empty channel
+    /// ([`TryRecvError::Empty`]) from one whose senders are all gone
+    /// ([`TryRecvError::Disconnected`]).
     #[inline]
-    pub fn try_recv(&self) -> Option<T> {
-        self.0.try_recv().ok()
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
     }
 }
 
@@ -182,5 +200,19 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(42), Err(SendError(42)));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(10).unwrap();
+        drop(tx);
+        // The buffer drains before disconnection is reported.
+        assert_eq!(rx.try_recv(), Ok(10));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 }

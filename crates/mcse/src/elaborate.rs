@@ -10,13 +10,16 @@ use std::fmt;
 use std::sync::Arc;
 
 use rtsim_comm::{MessageQueue, Rendezvous, RtEvent, SharedVar};
-use rtsim_core::{spawn_hw_function, Processor, ProcessorConfig, SchedulerStats, TaskHandle};
-use rtsim_kernel::{KernelError, KernelStats, SimTime, Simulator};
+use rtsim_core::{
+    register_seg_hw, spawn_hw_function, Processor, ProcessorConfig, SchedulerStats, TaskHandle,
+};
+use rtsim_kernel::{ExecMode, KernelError, KernelStats, SimTime, Simulator};
 use rtsim_trace::{Statistics, TimelineOptions, Trace, TraceRecorder};
 
 use crate::constraint::{verify, ConstraintReport, TimingConstraint};
 use crate::error::ModelError;
-use crate::model::{Mapping, Message, RelationDecl, SystemModel};
+use crate::model::{Body, Mapping, Message, RelationDecl, SystemModel};
+use crate::script::{run_blocking, ScriptProcess};
 
 /// The relations visible to a function body, looked up by name.
 ///
@@ -123,7 +126,11 @@ impl ElaboratedSystem {
             }
         }
 
-        let mut sim = Simulator::new();
+        let mut sim = match model.exec_mode {
+            Some(mode) => Simulator::with_mode(mode),
+            None => Simulator::new(),
+        };
+        let segment = sim.exec_mode() == ExecMode::Segment;
         let recorder = TraceRecorder::new();
 
         // Relations first, so every function body can capture them.
@@ -183,16 +190,45 @@ impl ElaboratedSystem {
         let mut model_functions = model.functions;
         for fname in &model.function_order {
             let decl = model_functions.remove(fname).expect("declared function");
-            let body = decl.body;
             let io = Arc::clone(&io);
-            match decl.mapping.expect("validated above") {
-                Mapping::Hardware => {
+            // Scripted bodies follow the simulator's execution mode;
+            // closure bodies always need a thread-backed process.
+            match (decl.mapping.expect("validated above"), decl.body) {
+                (Mapping::Hardware, Body::Closure(body)) => {
                     spawn_hw_function(&mut sim, &recorder, fname, move |hw| body(hw, &io));
                 }
-                Mapping::Software(pname) => {
+                (Mapping::Hardware, Body::Script(script)) => {
+                    if segment {
+                        let runner = register_seg_hw(&mut sim, &recorder, fname);
+                        let mut process = ScriptProcess::hw(runner, io, script);
+                        sim.spawn_segment(fname, move |ctx| process.poll(ctx));
+                    } else {
+                        spawn_hw_function(&mut sim, &recorder, fname, move |hw| {
+                            run_blocking(&script, hw, &io)
+                        });
+                    }
+                }
+                (Mapping::Software(pname), Body::Closure(body)) => {
                     let processor = processors.get(&pname).expect("validated above");
                     let handle =
                         processor.spawn_task(&mut sim, decl.config, move |t| body(t, &io));
+                    tasks.insert(fname.clone(), handle);
+                    task_placement.insert(fname.clone(), pname);
+                }
+                (Mapping::Software(pname), Body::Script(script)) => {
+                    let processor = processors.get(&pname).expect("validated above");
+                    let handle = if segment {
+                        let runner = processor.register_seg_task(&mut sim, decl.config);
+                        let handle = runner.handle();
+                        let process_name = format!("{}.{}", processor.name(), fname);
+                        let mut process = ScriptProcess::task(runner, io, script);
+                        sim.spawn_segment(&process_name, move |ctx| process.poll(ctx));
+                        handle
+                    } else {
+                        processor.spawn_task(&mut sim, decl.config, move |t| {
+                            run_blocking(&script, t, &io)
+                        })
+                    };
                     tasks.insert(fname.clone(), handle);
                     task_placement.insert(fname.clone(), pname);
                 }

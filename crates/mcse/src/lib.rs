@@ -67,6 +67,7 @@ pub mod elaborate;
 pub mod error;
 pub mod explore;
 pub mod model;
+pub mod script;
 
 pub use codegen::{generate_freertos, GeneratedCode};
 pub use explore::{run_variants, run_variants_parallel, Variant, VariantOutcome};
@@ -74,3 +75,4 @@ pub use constraint::{ConstraintReport, ConstraintResult, TimingConstraint};
 pub use elaborate::{ElaboratedSystem, Io};
 pub use error::ModelError;
 pub use model::{FunctionBody, Mapping, Message, SystemModel};
+pub use script::{run_blocking, Instr, Regs, ScriptProcess};

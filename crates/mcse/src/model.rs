@@ -10,15 +10,17 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use rtsim_comm::{EventPolicy, LockMode};
 use rtsim_core::agent::Agent;
 use rtsim_core::{EngineKind, Overheads, SchedulingPolicy, TaskConfig};
-use rtsim_kernel::SimDuration;
+use rtsim_kernel::{ExecMode, SimDuration};
 
 use crate::constraint::TimingConstraint;
 use crate::elaborate::{ElaboratedSystem, Io};
 use crate::error::ModelError;
+use crate::script::{self, Instr, Regs};
 
 /// An abstract message carried by queues and shared variables in the
 /// functional model.
@@ -44,6 +46,17 @@ impl Message {
 /// written against [`Agent`] so the same body runs mapped to hardware or
 /// to any software processor.
 pub type FunctionBody = Box<dyn FnOnce(&mut dyn Agent, &Io) + Send + 'static>;
+
+/// How a function's behaviour is expressed.
+pub(crate) enum Body {
+    /// A blocking closure — runs on a thread-backed kernel process in
+    /// every execution mode.
+    Closure(FunctionBody),
+    /// A behaviour script (see [`crate::script`]) — interpreted blocking
+    /// in thread mode and as a run-to-completion state machine in
+    /// segment mode, with identical observable behaviour.
+    Script(Arc<[Instr]>),
+}
 
 /// Where a function executes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,7 +88,7 @@ impl fmt::Debug for RelationDecl {
 
 pub(crate) struct FunctionDecl {
     pub config: TaskConfig,
-    pub body: FunctionBody,
+    pub body: Body,
     pub mapping: Option<Mapping>,
 }
 
@@ -132,6 +145,7 @@ pub struct SystemModel {
     pub(crate) processor_order: Vec<String>,
     pub(crate) relations: BTreeMap<String, RelationDecl>,
     pub(crate) constraints: Vec<TimingConstraint>,
+    pub(crate) exec_mode: Option<ExecMode>,
 }
 
 impl SystemModel {
@@ -145,6 +159,7 @@ impl SystemModel {
             processor_order: Vec::new(),
             relations: BTreeMap::new(),
             constraints: Vec::new(),
+            exec_mode: None,
         }
     }
 
@@ -173,10 +188,53 @@ impl SystemModel {
             name,
             FunctionDecl {
                 config,
-                body: Box::new(body),
+                body: Body::Closure(Box::new(body)),
                 mapping: None,
             },
         );
+        self
+    }
+
+    /// Declares a function whose behaviour is a script (see
+    /// [`crate::script`]) rather than a closure.
+    ///
+    /// Scripted functions run in *both* execution modes — blocking on a
+    /// kernel thread in [`ExecMode::Thread`], and as a run-to-completion
+    /// state machine (no OS thread at all) in [`ExecMode::Segment`] —
+    /// with bit-identical traces. Map it with [`map`](SystemModel::map)
+    /// before elaboration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name exists.
+    pub fn function_script(&mut self, config: TaskConfig, script: Vec<Instr>) -> &mut Self {
+        let name = config.name.clone();
+        assert!(
+            !self.functions.contains_key(&name),
+            "duplicate function `{name}`"
+        );
+        self.function_order.push(name.clone());
+        self.functions.insert(
+            name,
+            FunctionDecl {
+                config,
+                body: Body::Script(script.into()),
+                mapping: None,
+            },
+        );
+        self
+    }
+
+    /// Forces the execution mode of the elaborated simulator.
+    ///
+    /// By default elaboration honours the `RTSIM_EXEC_MODE` environment
+    /// override (see [`ExecMode::from_env`]); this pins the mode
+    /// explicitly. Closure-bodied functions always need a thread-backed
+    /// process, so in [`ExecMode::Segment`] only hardware closures (which
+    /// keep their own kernel process either way) and scripted functions
+    /// are affected.
+    pub fn exec_mode(&mut self, mode: ExecMode) -> &mut Self {
+        self.exec_mode = Some(mode);
         self
     }
 
@@ -338,6 +396,8 @@ impl SystemModel {
     /// Convenience: declare a periodic function activating every `period`
     /// (drift-free, anchored to its first activation), each activation
     /// costing `cost` of CPU, for `activations` rounds.
+    ///
+    /// Declared as a script, so it runs in both execution modes.
     pub fn periodic_function(
         &mut self,
         config: TaskConfig,
@@ -346,20 +406,24 @@ impl SystemModel {
         activations: u64,
     ) -> &mut Self {
         let config = config.period(period);
-        self.function(config, move |agent, _io| {
-            let start = agent.now();
-            for k in 1..=activations {
-                agent.execute(cost);
-                if k == activations {
-                    break; // no pointless wake after the last job
-                }
-                let next = start + period * k;
-                let now = agent.now();
-                if next > now {
-                    agent.delay(next - now);
-                }
-            }
-        })
+        let script = if activations == 0 {
+            Vec::new()
+        } else {
+            vec![
+                // All but the last activation sleep until the next
+                // drift-free release point; the last one skips the
+                // pointless wake.
+                script::repeat(
+                    activations - 1,
+                    vec![
+                        script::exec(cost),
+                        script::delay_until_with(move |r: &Regs| r.started + period * (r.k + 1)),
+                    ],
+                ),
+                script::exec(cost),
+            ]
+        };
+        self.function_script(config, script)
     }
 }
 

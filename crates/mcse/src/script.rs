@@ -1,0 +1,877 @@
+//! Mode-portable function bodies: a small behaviour script.
+//!
+//! A closure body (see [`SystemModel::function`](crate::SystemModel::function))
+//! blocks, so it can only run on a thread-backed kernel process. A
+//! **script** expresses the same behaviour as data — a list of [`Instr`]
+//! steps over a tiny register file ([`Regs`]) — and is interpreted in
+//! whichever execution mode the simulator runs:
+//!
+//! - [`run_blocking`] walks the script on an [`Agent`] (thread mode),
+//!   issuing exactly the calls the equivalent closure would make;
+//! - [`ScriptProcess`] drives the script as a run-to-completion state
+//!   machine over a [`SegTaskRunner`]/[`SegHwRunner`] (segment mode),
+//!   using the communication relations' non-blocking *attempt* entry
+//!   points and feeding waits back to the kernel as
+//!   [`SegStep::Yield`](rtsim_kernel::SegStep).
+//!
+//! Both interpreters perform the identical sequence of engine operations
+//! and trace records, so a scripted model produces bit-identical
+//! canonical traces in either mode — the property the regression farm's
+//! cross-mode differential suite asserts.
+//!
+//! Rendezvous relations are not scriptable (their transfer handshake is
+//! inherently two-sided blocking); functions using them stay closures.
+
+use std::sync::Arc;
+
+use rtsim_comm::{EvWait, ReleaseFollowup};
+use rtsim_core::{Agent, SegControl, SegHwRunner, SegTaskRunner};
+use rtsim_kernel::{SegStep, SegmentCtx, SimDuration, SimTime};
+use rtsim_trace::CommKind;
+
+use crate::elaborate::Io;
+use crate::model::Message;
+
+/// The register file a script computes over.
+///
+/// Scripts carry no user state of their own; closures embedded in
+/// instructions read these registers to derive durations, deadlines and
+/// message payloads.
+#[derive(Debug, Clone, Copy)]
+pub struct Regs {
+    /// Innermost loop counter (0-based; saved/restored across nesting).
+    pub k: u64,
+    /// The last message obtained by a queue read (or try-read hit).
+    pub msg: Message,
+    /// The last value obtained by a shared-variable read.
+    pub var: Message,
+    /// Outcome of the last try-operation (`true` on success).
+    pub flag: bool,
+    /// Simulation time at which the script body began (for tasks: after
+    /// the first dispatch) — the anchor of drift-free periodic releases.
+    pub started: SimTime,
+}
+
+impl Regs {
+    fn initial(started: SimTime) -> Self {
+        Regs {
+            k: 0,
+            msg: Message::default(),
+            var: Message::default(),
+            flag: false,
+            started,
+        }
+    }
+}
+
+/// A duration computed from the registers.
+pub type DurFn = Arc<dyn Fn(&Regs) -> SimDuration + Send + Sync>;
+/// An absolute instant computed from the registers.
+pub type TimeFn = Arc<dyn Fn(&Regs) -> SimTime + Send + Sync>;
+/// A message computed from the registers.
+pub type MsgFn = Arc<dyn Fn(&Regs) -> Message + Send + Sync>;
+
+/// One step of a behaviour script. Build lists with the helper
+/// constructors ([`exec`], [`delay`], [`repeat`], ...).
+#[derive(Clone)]
+pub enum Instr {
+    /// Consume CPU time (preemptible on a software processor).
+    Execute(DurFn),
+    /// Sleep for a duration.
+    Delay(DurFn),
+    /// Sleep until an absolute instant (no-op if already past).
+    DelayUntil(TimeFn),
+    /// Annotate the trace at the current instant.
+    Annotate(Arc<str>),
+    /// Signal an event relation.
+    Signal(Arc<str>),
+    /// Wait on an event relation (consuming one token when memorized).
+    AwaitEvent(Arc<str>),
+    /// Blocking write of a message to a queue relation.
+    QueueWrite(Arc<str>, MsgFn),
+    /// Blocking read from a queue relation into [`Regs::msg`].
+    QueueRead(Arc<str>),
+    /// Non-blocking write; success into [`Regs::flag`].
+    QueueTryWrite(Arc<str>, MsgFn),
+    /// Non-blocking read; success into [`Regs::flag`], the message (when
+    /// any) into [`Regs::msg`].
+    QueueTryRead(Arc<str>),
+    /// Read a shared variable into [`Regs::var`], consuming the given CPU
+    /// time under the lock.
+    VarRead(Arc<str>, DurFn),
+    /// Write a shared variable, consuming the given CPU time under the
+    /// lock.
+    VarWrite(Arc<str>, DurFn, MsgFn),
+    /// Run the body `n` times with [`Regs::k`] = 0..n (saved/restored).
+    Repeat(u64, Arc<[Instr]>),
+    /// Run the body forever (leave with [`Instr::Return`]); [`Regs::k`]
+    /// counts iterations.
+    Forever(Arc<[Instr]>),
+    /// Run the first body if [`Regs::flag`] is set, else the second.
+    IfFlag(Arc<[Instr]>, Arc<[Instr]>),
+    /// Run the body if the current time is strictly past the instant.
+    IfNowPast(TimeFn, Arc<[Instr]>),
+    /// End the whole script immediately.
+    Return,
+}
+
+impl std::fmt::Debug for Instr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Instr::Execute(_) => f.write_str("Execute"),
+            Instr::Delay(_) => f.write_str("Delay"),
+            Instr::DelayUntil(_) => f.write_str("DelayUntil"),
+            Instr::Annotate(l) => write!(f, "Annotate({l})"),
+            Instr::Signal(n) => write!(f, "Signal({n})"),
+            Instr::AwaitEvent(n) => write!(f, "AwaitEvent({n})"),
+            Instr::QueueWrite(n, _) => write!(f, "QueueWrite({n})"),
+            Instr::QueueRead(n) => write!(f, "QueueRead({n})"),
+            Instr::QueueTryWrite(n, _) => write!(f, "QueueTryWrite({n})"),
+            Instr::QueueTryRead(n) => write!(f, "QueueTryRead({n})"),
+            Instr::VarRead(n, _) => write!(f, "VarRead({n})"),
+            Instr::VarWrite(n, _, _) => write!(f, "VarWrite({n})"),
+            Instr::Repeat(n, b) => write!(f, "Repeat({n}, {} instrs)", b.len()),
+            Instr::Forever(b) => write!(f, "Forever({} instrs)", b.len()),
+            Instr::IfFlag(t, e) => write!(f, "IfFlag({}/{})", t.len(), e.len()),
+            Instr::IfNowPast(_, b) => write!(f, "IfNowPast({} instrs)", b.len()),
+            Instr::Return => f.write_str("Return"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder helpers
+// ---------------------------------------------------------------------
+
+/// Fixed-duration [`Instr::Execute`].
+pub fn exec(d: SimDuration) -> Instr {
+    Instr::Execute(Arc::new(move |_| d))
+}
+
+/// Register-dependent [`Instr::Execute`].
+pub fn exec_with(f: impl Fn(&Regs) -> SimDuration + Send + Sync + 'static) -> Instr {
+    Instr::Execute(Arc::new(f))
+}
+
+/// Fixed-duration [`Instr::Delay`].
+pub fn delay(d: SimDuration) -> Instr {
+    Instr::Delay(Arc::new(move |_| d))
+}
+
+/// Register-dependent [`Instr::Delay`].
+pub fn delay_with(f: impl Fn(&Regs) -> SimDuration + Send + Sync + 'static) -> Instr {
+    Instr::Delay(Arc::new(f))
+}
+
+/// Register-dependent [`Instr::DelayUntil`].
+pub fn delay_until_with(f: impl Fn(&Regs) -> SimTime + Send + Sync + 'static) -> Instr {
+    Instr::DelayUntil(Arc::new(f))
+}
+
+/// [`Instr::Annotate`].
+pub fn note(label: &str) -> Instr {
+    Instr::Annotate(Arc::from(label))
+}
+
+/// [`Instr::Signal`].
+pub fn signal(event: &str) -> Instr {
+    Instr::Signal(Arc::from(event))
+}
+
+/// [`Instr::AwaitEvent`].
+pub fn await_event(event: &str) -> Instr {
+    Instr::AwaitEvent(Arc::from(event))
+}
+
+/// [`Instr::QueueWrite`] with a register-dependent message.
+pub fn q_write(queue: &str, f: impl Fn(&Regs) -> Message + Send + Sync + 'static) -> Instr {
+    Instr::QueueWrite(Arc::from(queue), Arc::new(f))
+}
+
+/// [`Instr::QueueRead`].
+pub fn q_read(queue: &str) -> Instr {
+    Instr::QueueRead(Arc::from(queue))
+}
+
+/// [`Instr::QueueTryWrite`] with a register-dependent message.
+pub fn q_try_write(queue: &str, f: impl Fn(&Regs) -> Message + Send + Sync + 'static) -> Instr {
+    Instr::QueueTryWrite(Arc::from(queue), Arc::new(f))
+}
+
+/// [`Instr::QueueTryRead`].
+pub fn q_try_read(queue: &str) -> Instr {
+    Instr::QueueTryRead(Arc::from(queue))
+}
+
+/// [`Instr::VarRead`] with a fixed access duration.
+pub fn var_read(var: &str, d: SimDuration) -> Instr {
+    Instr::VarRead(Arc::from(var), Arc::new(move |_| d))
+}
+
+/// [`Instr::VarWrite`] with a fixed access duration and a
+/// register-dependent value.
+pub fn var_write(
+    var: &str,
+    d: SimDuration,
+    f: impl Fn(&Regs) -> Message + Send + Sync + 'static,
+) -> Instr {
+    Instr::VarWrite(Arc::from(var), Arc::new(move |_| d), Arc::new(f))
+}
+
+/// [`Instr::Repeat`].
+pub fn repeat(n: u64, body: Vec<Instr>) -> Instr {
+    Instr::Repeat(n, body.into())
+}
+
+/// [`Instr::Forever`].
+///
+/// # Panics
+///
+/// Panics on an empty body (the loop could never make progress).
+pub fn forever(body: Vec<Instr>) -> Instr {
+    assert!(!body.is_empty(), "Forever body must not be empty");
+    Instr::Forever(body.into())
+}
+
+/// [`Instr::IfFlag`].
+pub fn if_flag(then_body: Vec<Instr>, else_body: Vec<Instr>) -> Instr {
+    Instr::IfFlag(then_body.into(), else_body.into())
+}
+
+/// [`Instr::IfNowPast`].
+pub fn if_now_past(
+    f: impl Fn(&Regs) -> SimTime + Send + Sync + 'static,
+    body: Vec<Instr>,
+) -> Instr {
+    Instr::IfNowPast(Arc::new(f), body.into())
+}
+
+/// [`Instr::Return`].
+pub fn ret() -> Instr {
+    Instr::Return
+}
+
+// ---------------------------------------------------------------------
+// Blocking interpreter (thread mode)
+// ---------------------------------------------------------------------
+
+enum Flow {
+    Next,
+    Return,
+}
+
+/// Runs a script to completion on a blocking [`Agent`] — the thread-mode
+/// interpreter. Issues exactly the `Agent`/relation calls the equivalent
+/// hand-written closure body would.
+pub fn run_blocking(script: &[Instr], agent: &mut dyn Agent, io: &Io) {
+    let mut regs = Regs::initial(agent.now());
+    let _ = exec_list(script, agent, io, &mut regs);
+}
+
+fn exec_list(list: &[Instr], agent: &mut dyn Agent, io: &Io, regs: &mut Regs) -> Flow {
+    for instr in list {
+        if let Flow::Return = exec_blocking(instr, agent, io, regs) {
+            return Flow::Return;
+        }
+    }
+    Flow::Next
+}
+
+fn exec_blocking(instr: &Instr, agent: &mut dyn Agent, io: &Io, regs: &mut Regs) -> Flow {
+    match instr {
+        Instr::Execute(f) => agent.execute(f(regs)),
+        Instr::Delay(f) => agent.delay(f(regs)),
+        Instr::DelayUntil(f) => {
+            let next = f(regs);
+            let now = agent.now();
+            if next > now {
+                agent.delay(next - now);
+            }
+        }
+        Instr::Annotate(label) => agent.annotate(label),
+        Instr::Signal(name) => io.event(name).signal(agent),
+        Instr::AwaitEvent(name) => io.event(name).wait(agent),
+        Instr::QueueWrite(name, f) => {
+            let msg = f(regs);
+            io.queue(name).write(agent, msg);
+        }
+        Instr::QueueRead(name) => regs.msg = io.queue(name).read(agent),
+        Instr::QueueTryWrite(name, f) => {
+            let msg = f(regs);
+            regs.flag = io.queue(name).try_write(agent, msg).is_ok();
+        }
+        Instr::QueueTryRead(name) => match io.queue(name).try_read(agent) {
+            Some(m) => {
+                regs.msg = m;
+                regs.flag = true;
+            }
+            None => regs.flag = false,
+        },
+        Instr::VarRead(name, f) => {
+            let d = f(regs);
+            regs.var = io.var(name).read_for(agent, d);
+        }
+        Instr::VarWrite(name, df, mf) => {
+            let d = df(regs);
+            let m = mf(regs);
+            io.var(name).write_for(agent, d, m);
+        }
+        Instr::Repeat(n, body) => {
+            let saved = regs.k;
+            for i in 0..*n {
+                regs.k = i;
+                if let Flow::Return = exec_list(body, agent, io, regs) {
+                    return Flow::Return;
+                }
+            }
+            regs.k = saved;
+        }
+        Instr::Forever(body) => {
+            assert!(!body.is_empty(), "Forever body must not be empty");
+            let mut i = 0u64;
+            loop {
+                regs.k = i;
+                if let Flow::Return = exec_list(body, agent, io, regs) {
+                    return Flow::Return;
+                }
+                i += 1;
+            }
+        }
+        Instr::IfFlag(then_body, else_body) => {
+            let body = if regs.flag { then_body } else { else_body };
+            return exec_list(body, agent, io, regs);
+        }
+        Instr::IfNowPast(f, body) => {
+            if agent.now() > f(regs) {
+                return exec_list(body, agent, io, regs);
+            }
+        }
+        Instr::Return => return Flow::Return,
+    }
+    Flow::Next
+}
+
+// ---------------------------------------------------------------------
+// Segment interpreter (run-to-completion mode)
+// ---------------------------------------------------------------------
+
+/// The two run-to-completion drivers a script can sit on.
+enum Runner {
+    Task(SegTaskRunner),
+    Hw(SegHwRunner),
+}
+
+impl Runner {
+    fn advance(&mut self, ctx: &mut SegmentCtx<'_>) -> SegControl {
+        match self {
+            Runner::Task(r) => r.advance(ctx),
+            Runner::Hw(r) => r.advance(ctx),
+        }
+    }
+
+    fn agent<'r, 'c, 'a>(
+        &'r self,
+        ctx: &'c mut SegmentCtx<'a>,
+    ) -> rtsim_core::SegAgent<'r, 'c, 'a> {
+        match self {
+            Runner::Task(r) => r.agent(ctx),
+            Runner::Hw(r) => r.agent(ctx),
+        }
+    }
+
+    fn execute(&mut self, d: SimDuration) {
+        match self {
+            Runner::Task(r) => r.execute(d),
+            Runner::Hw(r) => r.execute(d),
+        }
+    }
+
+    fn delay(&mut self, now: SimTime, d: SimDuration) {
+        match self {
+            Runner::Task(r) => r.delay(now, d),
+            Runner::Hw(r) => r.delay(d),
+        }
+    }
+
+    fn suspend(&mut self, resource: bool) {
+        match self {
+            Runner::Task(r) => r.suspend(resource),
+            Runner::Hw(r) => r.suspend(resource),
+        }
+    }
+
+    fn finish(&mut self) {
+        match self {
+            Runner::Task(r) => r.finish(),
+            Runner::Hw(r) => r.finish(),
+        }
+    }
+
+    /// Performs the release follow-up of a shared-variable access.
+    /// Returns `true` when the follow-up goes through the RTOS and the
+    /// access record must wait for it to complete (hardware functions
+    /// treat both follow-ups as no-ops, exactly like the blocking
+    /// [`HwCtx`](rtsim_core::HwCtx)).
+    fn followup(&mut self, f: ReleaseFollowup, now: SimTime) -> bool {
+        match (self, f) {
+            (Runner::Task(r), ReleaseFollowup::UnlockPreemption) => {
+                r.unlock_preemption(now);
+                true
+            }
+            (Runner::Task(r), ReleaseFollowup::Reschedule) => {
+                r.reschedule(now);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One control-stack entry: a list being walked, with loop bookkeeping.
+struct CtlFrame {
+    list: Arc<[Instr]>,
+    idx: usize,
+    kind: FrameKind,
+}
+
+enum FrameKind {
+    /// Plain sequence (an `If` body): pop when exhausted.
+    Seq,
+    /// Bounded loop: rewind `left - 1` more times, then restore `k`.
+    Repeat { left: u64, saved_k: u64 },
+    /// Unbounded loop: always rewind.
+    Forever,
+}
+
+/// A shared-variable access in flight (the segment decomposition of
+/// `read_for`/`write_for`).
+struct VarAccess {
+    name: Arc<str>,
+    dur: SimDuration,
+    /// `Some(value)` for a write, `None` for a read.
+    write: Option<Message>,
+}
+
+/// What the interpreter must do when the runner next reports idle.
+enum Pending {
+    /// Re-attempt a memorized-event wait after a wake.
+    EventRetry(Arc<str>),
+    /// Complete a fugitive-event wait (the wake was the signal).
+    EventFinish(Arc<str>),
+    /// Re-attempt a blocked queue write (carrying the message back).
+    QueueWrite(Arc<str>, Message),
+    /// Re-attempt a blocked queue read.
+    QueueRead(Arc<str>),
+    /// Re-attempt a shared-variable acquisition.
+    VarAcquire(VarAccess),
+    /// The under-lock compute finished: store, release, follow up.
+    VarHold(VarAccess),
+    /// The release follow-up finished: record the access.
+    VarRecord(VarAccess),
+}
+
+/// Did an instruction feed work to the runner (yield soon) or complete
+/// instantaneously?
+enum Progress {
+    Intent,
+    Continue,
+}
+
+/// A script bound to a run-to-completion driver — the segment-mode
+/// interpreter, embeddable directly in
+/// [`Simulator::spawn_segment`](rtsim_kernel::Simulator::spawn_segment).
+///
+/// Performs the identical engine operations and trace records as
+/// [`run_blocking`] on the same script, so both execution modes produce
+/// bit-identical canonical traces.
+pub struct ScriptProcess {
+    runner: Runner,
+    io: Arc<Io>,
+    ctl: Vec<CtlFrame>,
+    regs: Regs,
+    pending: Option<Pending>,
+    begun: bool,
+}
+
+impl ScriptProcess {
+    /// Binds a script to an RTOS task runner (see
+    /// [`Processor::register_seg_task`](rtsim_core::Processor::register_seg_task)).
+    pub fn task(runner: SegTaskRunner, io: Arc<Io>, script: Arc<[Instr]>) -> Self {
+        Self::new(Runner::Task(runner), io, script)
+    }
+
+    /// Binds a script to a hardware-function runner (see
+    /// [`register_seg_hw`](rtsim_core::register_seg_hw)).
+    pub fn hw(runner: SegHwRunner, io: Arc<Io>, script: Arc<[Instr]>) -> Self {
+        Self::new(Runner::Hw(runner), io, script)
+    }
+
+    fn new(runner: Runner, io: Arc<Io>, script: Arc<[Instr]>) -> Self {
+        let ctl = if script.is_empty() {
+            Vec::new()
+        } else {
+            vec![CtlFrame {
+                list: script,
+                idx: 0,
+                kind: FrameKind::Seq,
+            }]
+        };
+        ScriptProcess {
+            runner,
+            io,
+            ctl,
+            regs: Regs::initial(SimTime::ZERO),
+            pending: None,
+            begun: false,
+        }
+    }
+
+    /// One kernel dispatch: advances the runner, feeding script steps
+    /// whenever it goes idle, until it yields a wait or terminates.
+    pub fn poll(&mut self, ctx: &mut SegmentCtx<'_>) -> SegStep {
+        loop {
+            match self.runner.advance(ctx) {
+                SegControl::Yield(req) => return SegStep::Yield(req),
+                SegControl::Finished => return SegStep::Done,
+                SegControl::Idle => {
+                    if !self.begun {
+                        self.begun = true;
+                        self.regs.started = ctx.now();
+                    }
+                    self.on_idle(ctx);
+                }
+            }
+        }
+    }
+
+    /// The runner is idle: resolve any in-flight operation, then feed
+    /// instructions until one hands the runner work or the script ends.
+    fn on_idle(&mut self, ctx: &mut SegmentCtx<'_>) {
+        if let Some(p) = self.pending.take() {
+            if let Progress::Intent = self.resume(ctx, p) {
+                return;
+            }
+        }
+        loop {
+            let Some(instr) = self.fetch() else {
+                self.runner.finish();
+                return;
+            };
+            if let Progress::Intent = self.exec(ctx, instr) {
+                return;
+            }
+        }
+    }
+
+    /// Advances the control stack to the next instruction, unwinding and
+    /// rewinding loops.
+    fn fetch(&mut self) -> Option<Instr> {
+        enum Wrap {
+            Pop(Option<u64>),
+            Again,
+        }
+        loop {
+            let wrap = {
+                let frame = self.ctl.last_mut()?;
+                if frame.idx < frame.list.len() {
+                    let instr = frame.list[frame.idx].clone();
+                    frame.idx += 1;
+                    return Some(instr);
+                }
+                match &mut frame.kind {
+                    FrameKind::Seq => Wrap::Pop(None),
+                    FrameKind::Repeat { left, saved_k } => {
+                        *left -= 1;
+                        if *left == 0 {
+                            Wrap::Pop(Some(*saved_k))
+                        } else {
+                            frame.idx = 0;
+                            Wrap::Again
+                        }
+                    }
+                    FrameKind::Forever => {
+                        frame.idx = 0;
+                        Wrap::Again
+                    }
+                }
+            };
+            match wrap {
+                Wrap::Pop(k) => {
+                    self.ctl.pop();
+                    if let Some(k) = k {
+                        self.regs.k = k;
+                    }
+                }
+                Wrap::Again => self.regs.k += 1,
+            }
+        }
+    }
+
+    fn push_body(&mut self, list: Arc<[Instr]>, kind: FrameKind) {
+        self.ctl.push(CtlFrame { list, idx: 0, kind });
+    }
+
+    fn exec(&mut self, ctx: &mut SegmentCtx<'_>, instr: Instr) -> Progress {
+        match instr {
+            Instr::Execute(f) => {
+                let d = f(&self.regs);
+                self.runner.execute(d);
+                Progress::Intent
+            }
+            Instr::Delay(f) => {
+                let d = f(&self.regs);
+                self.runner.delay(ctx.now(), d);
+                Progress::Intent
+            }
+            Instr::DelayUntil(f) => {
+                let next = f(&self.regs);
+                let now = ctx.now();
+                if next > now {
+                    self.runner.delay(now, next - now);
+                    Progress::Intent
+                } else {
+                    Progress::Continue
+                }
+            }
+            Instr::Annotate(label) => {
+                let mut agent = self.runner.agent(ctx);
+                agent.annotate(&label);
+                Progress::Continue
+            }
+            Instr::Signal(name) => {
+                let ev = self.io.event(&name);
+                let mut agent = self.runner.agent(ctx);
+                ev.signal(&mut agent);
+                Progress::Continue
+            }
+            Instr::AwaitEvent(name) => self.event_wait(ctx, name),
+            Instr::QueueWrite(name, f) => {
+                let msg = f(&self.regs);
+                self.queue_write(ctx, name, msg)
+            }
+            Instr::QueueRead(name) => self.queue_read(ctx, name),
+            Instr::QueueTryWrite(name, f) => {
+                let msg = f(&self.regs);
+                let q = self.io.queue(&name);
+                let ok = {
+                    let mut agent = self.runner.agent(ctx);
+                    q.try_write(&mut agent, msg).is_ok()
+                };
+                self.regs.flag = ok;
+                Progress::Continue
+            }
+            Instr::QueueTryRead(name) => {
+                let q = self.io.queue(&name);
+                let got = {
+                    let mut agent = self.runner.agent(ctx);
+                    q.try_read(&mut agent)
+                };
+                match got {
+                    Some(m) => {
+                        self.regs.msg = m;
+                        self.regs.flag = true;
+                    }
+                    None => self.regs.flag = false,
+                }
+                Progress::Continue
+            }
+            Instr::VarRead(name, f) => {
+                let dur = f(&self.regs);
+                self.var_begin(
+                    ctx,
+                    VarAccess {
+                        name,
+                        dur,
+                        write: None,
+                    },
+                )
+            }
+            Instr::VarWrite(name, df, mf) => {
+                let dur = df(&self.regs);
+                let msg = mf(&self.regs);
+                self.var_begin(
+                    ctx,
+                    VarAccess {
+                        name,
+                        dur,
+                        write: Some(msg),
+                    },
+                )
+            }
+            Instr::Repeat(n, body) => {
+                if n > 0 {
+                    let saved = self.regs.k;
+                    self.push_body(
+                        body,
+                        FrameKind::Repeat {
+                            left: n,
+                            saved_k: saved,
+                        },
+                    );
+                    self.regs.k = 0;
+                }
+                Progress::Continue
+            }
+            Instr::Forever(body) => {
+                assert!(!body.is_empty(), "Forever body must not be empty");
+                self.push_body(body, FrameKind::Forever);
+                self.regs.k = 0;
+                Progress::Continue
+            }
+            Instr::IfFlag(then_body, else_body) => {
+                let body = if self.regs.flag { then_body } else { else_body };
+                if !body.is_empty() {
+                    self.push_body(body, FrameKind::Seq);
+                }
+                Progress::Continue
+            }
+            Instr::IfNowPast(f, body) => {
+                if ctx.now() > f(&self.regs) && !body.is_empty() {
+                    self.push_body(body, FrameKind::Seq);
+                }
+                Progress::Continue
+            }
+            Instr::Return => {
+                self.ctl.clear();
+                Progress::Continue
+            }
+        }
+    }
+
+    fn resume(&mut self, ctx: &mut SegmentCtx<'_>, pending: Pending) -> Progress {
+        match pending {
+            Pending::EventRetry(name) => self.event_wait(ctx, name),
+            Pending::EventFinish(name) => {
+                let ev = self.io.event(&name);
+                let mut agent = self.runner.agent(ctx);
+                ev.finish_fugitive_wait(&mut agent);
+                Progress::Continue
+            }
+            Pending::QueueWrite(name, msg) => self.queue_write(ctx, name, msg),
+            Pending::QueueRead(name) => self.queue_read(ctx, name),
+            Pending::VarAcquire(acc) => self.var_begin(ctx, acc),
+            Pending::VarHold(acc) => self.var_release(ctx, acc),
+            Pending::VarRecord(acc) => {
+                self.var_record(ctx, &acc);
+                Progress::Continue
+            }
+        }
+    }
+
+    fn event_wait(&mut self, ctx: &mut SegmentCtx<'_>, name: Arc<str>) -> Progress {
+        let ev = self.io.event(&name);
+        let wait = {
+            let mut agent = self.runner.agent(ctx);
+            ev.wait_attempt(&mut agent)
+        };
+        match wait {
+            EvWait::Ready => Progress::Continue,
+            EvWait::Registered { fugitive } => {
+                self.runner.suspend(false);
+                self.pending = Some(if fugitive {
+                    Pending::EventFinish(name)
+                } else {
+                    Pending::EventRetry(name)
+                });
+                Progress::Intent
+            }
+        }
+    }
+
+    fn queue_write(&mut self, ctx: &mut SegmentCtx<'_>, name: Arc<str>, msg: Message) -> Progress {
+        let q = self.io.queue(&name);
+        let res = {
+            let mut agent = self.runner.agent(ctx);
+            q.write_attempt(&mut agent, msg)
+        };
+        match res {
+            Ok(()) => Progress::Continue,
+            Err(m) => {
+                self.runner.suspend(false);
+                self.pending = Some(Pending::QueueWrite(name, m));
+                Progress::Intent
+            }
+        }
+    }
+
+    fn queue_read(&mut self, ctx: &mut SegmentCtx<'_>, name: Arc<str>) -> Progress {
+        let q = self.io.queue(&name);
+        let got = {
+            let mut agent = self.runner.agent(ctx);
+            q.read_attempt(&mut agent)
+        };
+        match got {
+            Some(m) => {
+                self.regs.msg = m;
+                Progress::Continue
+            }
+            None => {
+                self.runner.suspend(false);
+                self.pending = Some(Pending::QueueRead(name));
+                Progress::Intent
+            }
+        }
+    }
+
+    fn var_begin(&mut self, ctx: &mut SegmentCtx<'_>, acc: VarAccess) -> Progress {
+        let var = self.io.var(&acc.name);
+        let got = {
+            let mut agent = self.runner.agent(ctx);
+            var.acquire_attempt(&mut agent)
+        };
+        if !got {
+            self.runner.suspend(true);
+            self.pending = Some(Pending::VarAcquire(acc));
+            return Progress::Intent;
+        }
+        // Lock acquired: take the value snapshot (exactly where the
+        // blocking `with_lock` clones it), then compute under the lock.
+        if acc.write.is_none() {
+            self.regs.var = var.locked_get();
+        }
+        if !acc.dur.is_zero() {
+            self.runner.execute(acc.dur);
+            self.pending = Some(Pending::VarHold(acc));
+            return Progress::Intent;
+        }
+        self.var_release(ctx, acc)
+    }
+
+    fn var_release(&mut self, ctx: &mut SegmentCtx<'_>, acc: VarAccess) -> Progress {
+        let var = self.io.var(&acc.name);
+        if let Some(m) = acc.write {
+            var.locked_set(m);
+        }
+        let followup = {
+            let mut agent = self.runner.agent(ctx);
+            var.release_attempt(&mut agent)
+        };
+        if self.runner.followup(followup, ctx.now()) {
+            self.pending = Some(Pending::VarRecord(acc));
+            return Progress::Intent;
+        }
+        self.var_record(ctx, &acc);
+        Progress::Continue
+    }
+
+    fn var_record(&mut self, ctx: &mut SegmentCtx<'_>, acc: &VarAccess) {
+        let var = self.io.var(&acc.name);
+        let kind = if acc.write.is_some() {
+            CommKind::Write
+        } else {
+            CommKind::Read
+        };
+        let mut agent = self.runner.agent(ctx);
+        var.record_access(&mut agent, kind);
+    }
+}
+
+impl std::fmt::Debug for ScriptProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptProcess")
+            .field("frames", &self.ctl.len())
+            .field("regs", &self.regs)
+            .field("pending", &self.pending.is_some())
+            .finish()
+    }
+}

@@ -76,7 +76,8 @@ pub use rtsim_core::{
 pub use rtsim_core::policies;
 pub use rtsim_kernel::testutil;
 pub use rtsim_kernel::{
-    Event, KernelError, KernelStats, ProcessContext, SimDuration, SimTime, Simulator, Wake,
+    Event, ExecMode, KernelError, KernelStats, ProcessContext, SimDuration, SimTime, Simulator,
+    Wake,
 };
 pub use rtsim_mcse::{
     generate_freertos, run_variants, run_variants_parallel, ConstraintReport, ElaboratedSystem,

@@ -59,11 +59,19 @@ cargo build --release --offline --workspace --all-targets
 echo "== hermetic check: offline test suite =="
 cargo test -q --offline --workspace
 
-echo "== hermetic check: regression farm goldens (smoke subset) =="
+echo "== hermetic check: regression farm goldens (smoke subset, both exec modes) =="
 # The release build above already produced the farm binary; sweep the
 # smoke matrix against tests/goldens/farm.jsonl so behavioural drift is
 # caught here too. Re-pin intentional changes with `rtsim-farm --bless`.
-RTSIM_BENCH_SMOKE=1 "$repo/target/release/rtsim-farm" --check
+# The sweep runs once per kernel execution mode: the thread-backed and
+# the run-to-completion (segment) kernels must both reproduce the same
+# pinned goldens — the cheap CI face of the 98-cell equivalence oracle
+# in crates/farm/tests/exec_mode_equiv.rs.
+for exec_mode in thread segment; do
+    echo "-- exec mode: $exec_mode --"
+    RTSIM_BENCH_SMOKE=1 RTSIM_EXEC_MODE="$exec_mode" \
+        "$repo/target/release/rtsim-farm" --check
+done
 
 echo "== hermetic check: grid cache round-trip (smoke subset) =="
 # Cold sweep into a scratch cache, then a warm sweep at a different
@@ -93,5 +101,19 @@ fi
 # validates every record of both inputs before comparing.
 "$repo/target/release/rtsim-bench-diff" --max-regress-pct 0 \
     "$trajectory" "$trajectory"
+
+echo "== hermetic check: segment-kernel speedup gate + baseline diff =="
+# ab_speed_table measures the thread-backed and the run-to-completion
+# kernels in the same process; the segment kernel must keep a >= 5x
+# median speedup (the ISSUE's acceptance bar — machine independent, both
+# sides share whatever noise the host has). The fresh smoke trajectory
+# is then diffed against the committed baseline: a generous threshold
+# absorbs host noise on one-sample smoke medians while still catching an
+# order-of-magnitude regression of the segment kernel itself.
+RTSIM_BENCH_SMOKE=1 RTSIM_BENCH_OUT="$bench_out" \
+    "$repo/target/release/ab_speed_table" --assert-speedup 5
+"$repo/target/release/rtsim-bench-diff" --max-regress-pct 900 \
+    "$repo/crates/bench/baselines/bench-ab_speed_table.jsonl" \
+    "$bench_out/bench-ab_speed_table.jsonl"
 
 echo "hermetic check PASSED"
