@@ -1,0 +1,278 @@
+//! `rtsim-serve-flood` — synthetic request flood against a running
+//! `rtsim-serve`, exercising the cache fast path.
+//!
+//! Replays a seeded, duplicate-heavy request mix twice: a **cold**
+//! phase that populates the server's cache (each request is POSTed and
+//! polled to completion, so duplicates of an already-finished cell are
+//! deterministic cache hits), then a **warm** phase that replays the
+//! identical sequence and must be answered entirely from cache. The
+//! mix skews toward a few hot cells (quadratic skew over a small
+//! distinct set); smoke mode (`RTSIM_BENCH_SMOKE=1`) floods only the
+//! tiny scenarios, the full mix adds the MPEG-2 SoC cells.
+//!
+//! Emits a `bench-v1` trajectory (`bench-serve_flood.jsonl` under
+//! `RTSIM_BENCH_OUT`) with end-to-end latency distributions plus two
+//! *deterministic* count cases, `cold_misses` and `warm_misses`
+//! (encoded as nanosecond durations), which are what the committed
+//! baseline pins: for a fixed seed and matrix the cold phase must miss
+//! exactly once per distinct cell, and the warm phase must never miss.
+//!
+//! ```text
+//! rtsim-serve-flood --addr 127.0.0.1:2004 --requests 96 --seed 0 \
+//!     --assert-warm-hit-rate 100 --shutdown
+//! ```
+
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use rtsim::campaign::json::Json;
+use rtsim::campaign::nearest_rank_index;
+use rtsim::farm::registry::full_matrix;
+use rtsim::serve::client;
+use rtsim::testutil::Rng;
+use rtsim_bench::BenchReport;
+
+/// Scenarios cheap enough to flood in smoke mode.
+const TINY: &[&str] = &["quickstart", "paper_fig6", "paper_fig7"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rtsim-serve-flood [--addr HOST:PORT] [--requests N] [--seed S] \
+         [--assert-warm-hit-rate PCT] [--shutdown]"
+    );
+    exit(2);
+}
+
+struct Args {
+    addr: SocketAddr,
+    requests: usize,
+    seed: u64,
+    assert_rate: Option<u64>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:2004".parse().unwrap(),
+        requests: if rtsim::campaign::smoke() { 48 } else { 128 },
+        seed: 0,
+        assert_rate: None,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match flag.as_str() {
+            "--addr" => match value("--addr").parse() {
+                Ok(addr) => args.addr = addr,
+                Err(e) => {
+                    eprintln!("bad --addr: {e}");
+                    usage();
+                }
+            },
+            "--requests" => match value("--requests").parse() {
+                Ok(n) if n > 0 => args.requests = n,
+                _ => {
+                    eprintln!("bad --requests (want a positive integer)");
+                    usage();
+                }
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(s) => args.seed = s,
+                Err(e) => {
+                    eprintln!("bad --seed: {e}");
+                    usage();
+                }
+            },
+            "--assert-warm-hit-rate" => match value("--assert-warm-hit-rate").parse() {
+                Ok(p) if p <= 100 => args.assert_rate = Some(p),
+                _ => {
+                    eprintln!("bad --assert-warm-hit-rate (want 0-100)");
+                    usage();
+                }
+            },
+            "--shutdown" => args.shutdown = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// The seeded request mix: a skewed sequence of full-matrix cell
+/// indices drawn from a small distinct set, so duplicates dominate.
+fn request_mix(seed: u64, requests: usize) -> Vec<usize> {
+    let matrix = full_matrix();
+    let smoke = rtsim::campaign::smoke();
+    let mut pool: Vec<usize> = matrix
+        .iter()
+        .enumerate()
+        .filter(|(_, cell)| TINY.contains(&cell.scenario) || (!smoke && cell.scenario == "mpeg2_soc"))
+        .map(|(i, _)| i)
+        .collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    let distinct = pool.len().min(if smoke { 6 } else { 10 });
+    let mut hot: Vec<usize> = (0..distinct)
+        .map(|_| {
+            let i = rng.gen_range(0..pool.len());
+            pool.swap_remove(i)
+        })
+        .collect();
+    hot.sort_unstable();
+    (0..requests)
+        .map(|_| {
+            // Quadratic skew: low indices of the hot set dominate.
+            let r = rng.next_f64();
+            hot[(((r * r) * hot.len() as f64) as usize).min(hot.len() - 1)]
+        })
+        .collect()
+}
+
+fn parse_body(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| {
+        eprintln!("rtsim-serve-flood: unparseable response body {body:?}: {e}");
+        exit(1);
+    })
+}
+
+/// Polls the job until it leaves the queue; exits nonzero on failure.
+fn await_job(addr: SocketAddr, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let reply = client::get(addr, &format!("/v1/jobs/{id}")).unwrap_or_else(|e| {
+            eprintln!("rtsim-serve-flood: poll of job {id} failed: {e}");
+            exit(1);
+        });
+        let json = parse_body(&reply.body);
+        match json.get("status").and_then(Json::as_str) {
+            Some("done") => return,
+            Some("failed") => {
+                eprintln!("rtsim-serve-flood: job {id} failed: {}", reply.body);
+                exit(1);
+            }
+            _ => {
+                if Instant::now() >= deadline {
+                    eprintln!("rtsim-serve-flood: job {id} did not finish in time");
+                    exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// One flood pass; returns (per-request end-to-end latencies, misses).
+fn flood(addr: SocketAddr, mix: &[usize]) -> (Vec<Duration>, u64) {
+    let mut times = Vec::with_capacity(mix.len());
+    let mut misses = 0u64;
+    for &cell in mix {
+        let started = Instant::now();
+        let reply = client::post(addr, "/v1/jobs", &format!("{{\"cell\":{cell}}}")).unwrap_or_else(
+            |e| {
+                eprintln!("rtsim-serve-flood: POST /v1/jobs failed: {e}");
+                exit(1);
+            },
+        );
+        if reply.status != 200 && reply.status != 202 {
+            eprintln!("rtsim-serve-flood: HTTP {}: {}", reply.status, reply.body);
+            exit(1);
+        }
+        let json = parse_body(&reply.body);
+        if json.get("cache_hit").and_then(Json::as_bool) != Some(true) {
+            misses += 1;
+        }
+        if json.get("status").and_then(Json::as_str) != Some("done") {
+            let id = json.get("job").and_then(Json::as_u64).unwrap_or_else(|| {
+                eprintln!("rtsim-serve-flood: response without a job id: {}", reply.body);
+                exit(1);
+            });
+            await_job(addr, id);
+        }
+        times.push(started.elapsed());
+    }
+    (times, misses)
+}
+
+fn percentile(sorted: &[Duration], num: u64, den: u64) -> Duration {
+    sorted[nearest_rank_index(num, den, sorted.len())]
+}
+
+fn main() {
+    let args = parse_args();
+    let mix = request_mix(args.seed, args.requests);
+    let distinct = {
+        let mut cells = mix.clone();
+        cells.sort_unstable();
+        cells.dedup();
+        cells.len()
+    };
+    println!(
+        "flooding {} with {} requests over {} distinct cells (seed {})",
+        args.addr,
+        mix.len(),
+        distinct,
+        args.seed,
+    );
+
+    let (cold, cold_misses) = flood(args.addr, &mix);
+    let (warm, warm_misses) = flood(args.addr, &mix);
+
+    let mut cold_sorted = cold.clone();
+    cold_sorted.sort_unstable();
+    let mut warm_sorted = warm.clone();
+    warm_sorted.sort_unstable();
+    let warm_hits = mix.len() as u64 - warm_misses;
+    let warm_rate = warm_hits * 100 / mix.len() as u64;
+
+    println!(
+        "cold: {} misses / {} requests, p50 {:?}, p99 {:?}",
+        cold_misses,
+        mix.len(),
+        percentile(&cold_sorted, 1, 2),
+        percentile(&cold_sorted, 99, 100),
+    );
+    println!(
+        "warm: {} misses / {} requests ({warm_rate}% hit rate), p50 {:?}, p99 {:?}",
+        warm_misses,
+        mix.len(),
+        percentile(&warm_sorted, 1, 2),
+        percentile(&warm_sorted, 99, 100),
+    );
+
+    let mut report = BenchReport::new("serve_flood");
+    report.record_samples("cold_request", 1, &cold);
+    report.record_samples("warm_request", 1, &warm);
+    report.record_wall("cold_p99", percentile(&cold_sorted, 99, 100));
+    report.record_wall("warm_p99", percentile(&warm_sorted, 99, 100));
+    // Deterministic count cases (encoded as nanoseconds): what the
+    // committed baseline pins at zero tolerance.
+    report.record_wall("cold_misses", Duration::from_nanos(cold_misses));
+    report.record_wall("warm_misses", Duration::from_nanos(warm_misses));
+    report.emit();
+
+    if args.shutdown {
+        let reply = client::post(args.addr, "/v1/shutdown", "").unwrap_or_else(|e| {
+            eprintln!("rtsim-serve-flood: shutdown request failed: {e}");
+            exit(1);
+        });
+        if reply.status != 200 {
+            eprintln!("rtsim-serve-flood: shutdown answered HTTP {}", reply.status);
+            exit(1);
+        }
+        println!("server shutdown requested");
+    }
+
+    if let Some(min_rate) = args.assert_rate {
+        if warm_rate < min_rate {
+            eprintln!(
+                "FAIL: warm hit rate {warm_rate}% below required {min_rate}% \
+                 ({warm_misses} warm misses)"
+            );
+            exit(1);
+        }
+        println!("warm hit rate {warm_rate}% >= {min_rate}%: ok");
+    }
+}

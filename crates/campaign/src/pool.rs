@@ -1,18 +1,21 @@
 //! The campaign engine: job context, worker pool, report.
 //!
-//! Work distribution is chunked self-scheduling: workers claim
-//! contiguous index chunks from a shared atomic cursor, so cheap jobs
-//! amortize the claim and expensive jobs still balance. Completions flow
-//! back over a `rtsim_kernel::sync` channel to a collector that stores
-//! them by job index — arrival order (nondeterministic) never leaks into
-//! the report.
+//! Work distribution is per-worker deques with work stealing: each
+//! worker starts with a contiguous block of job indices and pops from
+//! its own front; a worker that drains its deque steals from the *back*
+//! of a sibling's, so one expensive job (an MPEG-2 decode among tiny
+//! trials) never strands the cheap jobs queued behind it the way the old
+//! chunked self-scheduling could. Which worker runs a job is still
+//! irrelevant to results: completions flow back over a
+//! `rtsim_kernel::sync` channel to a collector that stores them by job
+//! index — arrival order (nondeterministic) never leaks into the report.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use rtsim_kernel::sync::unbounded;
+use rtsim_kernel::sync::{unbounded, Mutex};
 use rtsim_kernel::testutil::Rng;
 
 use crate::stats::StatSummary;
@@ -118,6 +121,71 @@ pub fn workers_from_env() -> usize {
 /// The boxed progress-callback shape [`Campaign::on_progress`] stores.
 type ProgressCallback = Box<dyn Fn(&Progress) + Send + Sync>;
 
+/// Runs `f` with the campaign pool's panic isolation: a panic is caught
+/// and converted into a [`JobPanic`] carrying the payload message
+/// instead of unwinding into the caller.
+///
+/// This is the per-job execution primitive [`Campaign::run`] wraps every
+/// job in, exported so long-running consumers of the pool discipline —
+/// the `rtsim-serve` workers executing one simulation per request — get
+/// byte-identical failure reporting without re-rolling the
+/// `catch_unwind` dance.
+pub fn run_isolated<T>(f: impl FnOnce() -> T) -> Result<T, JobPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| JobPanic {
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Per-worker job deques with work stealing.
+///
+/// Construction deals `0..jobs` (local indices) into `workers`
+/// contiguous blocks, front-loaded like `shard_range` in `rtsim-grid`.
+/// A worker pops its own deque at the *front* (preserving ascending
+/// index order, which keeps RNG-stream locality); a worker whose deque
+/// is empty steals from the *back* of the first non-empty sibling,
+/// scanning round-robin from its right neighbour. Because all work is
+/// enqueued up front and never re-added, a full scan that finds every
+/// deque empty is a stable termination condition — a job popped but
+/// still executing belongs to exactly one worker and cannot be lost.
+struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueues {
+    /// Deals `jobs` local indices into `workers` contiguous deques (the
+    /// first `jobs % workers` deques get one extra index).
+    fn new(jobs: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let base = jobs / workers;
+        let extra = jobs % workers;
+        let mut start = 0;
+        let queues = (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let queue = (start..start + len).collect();
+                start += len;
+                Mutex::new(queue)
+            })
+            .collect();
+        WorkQueues { queues }
+    }
+
+    /// The next job for `worker`: its own front, else a steal from a
+    /// sibling's back, else `None` (every deque is drained).
+    fn next(&self, worker: usize) -> Option<usize> {
+        if let Some(index) = self.queues[worker].lock().pop_front() {
+            return Some(index);
+        }
+        for offset in 1..self.queues.len() {
+            let victim = (worker + offset) % self.queues.len();
+            if let Some(index) = self.queues[victim].lock().pop_back() {
+                return Some(index);
+            }
+        }
+        None
+    }
+}
+
 /// A deterministic parallel batch run: N independent jobs fanned out
 /// over a worker pool, results aggregated in job-index order.
 ///
@@ -128,7 +196,6 @@ pub struct Campaign {
     seed: u64,
     workers: usize,
     first_index: usize,
-    chunk: Option<usize>,
     on_progress: Option<ProgressCallback>,
 }
 
@@ -139,7 +206,6 @@ impl std::fmt::Debug for Campaign {
             .field("seed", &self.seed)
             .field("workers", &self.workers)
             .field("first_index", &self.first_index)
-            .field("chunk", &self.chunk)
             .finish()
     }
 }
@@ -153,7 +219,6 @@ impl Campaign {
             seed,
             workers: workers_from_env(),
             first_index: 0,
-            chunk: None,
             on_progress: None,
         }
     }
@@ -177,14 +242,6 @@ impl Campaign {
     #[must_use]
     pub fn first_index(mut self, first: usize) -> Self {
         self.first_index = first;
-        self
-    }
-
-    /// Overrides the claim-chunk size (default: `jobs / (workers * 4)`,
-    /// clamped to `1..=64`).
-    #[must_use]
-    pub fn chunk(mut self, chunk: usize) -> Self {
-        self.chunk = Some(chunk.max(1));
         self
     }
 
@@ -232,15 +289,12 @@ impl Campaign {
     {
         let started = Instant::now();
         let workers = self.workers.min(jobs.max(1));
-        let chunk = self
-            .chunk
-            .unwrap_or_else(|| (jobs / (workers * 4).max(1)).clamp(1, 64));
         let root = Rng::seed_from_u64(self.seed);
-        let cursor = AtomicUsize::new(0);
+        let queues = WorkQueues::new(jobs, workers);
         let (tx, rx) = unbounded::<JobOutcome<T>>();
         let job = &job;
         let root = &root;
-        let cursor = &cursor;
+        let queues = &queues;
 
         let mut slots: Vec<Option<JobOutcome<T>>> = Vec::new();
         slots.resize_with(jobs, || None);
@@ -249,12 +303,8 @@ impl Campaign {
         thread::scope(|scope| {
             for worker in 0..workers {
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= jobs {
-                        break;
-                    }
-                    for local in start..(start + chunk).min(jobs) {
+                scope.spawn(move || {
+                    while let Some(local) = queues.next(worker) {
                         let index = self.first_index + local;
                         let mut ctx = JobCtx {
                             index,
@@ -263,10 +313,7 @@ impl Campaign {
                             rng: root.fork(index as u64),
                         };
                         let t0 = Instant::now();
-                        let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)))
-                            .map_err(|payload| JobPanic {
-                                message: panic_message(payload.as_ref()),
-                            });
+                        let result = run_isolated(|| job(&mut ctx));
                         let outcome = JobOutcome {
                             index,
                             wall: t0.elapsed(),
@@ -333,7 +380,6 @@ impl Campaign {
             seed: self.seed,
             workers: 1,
             first_index: self.first_index,
-            chunk: self.chunk,
             on_progress: None,
         }
         .run(jobs, &job);
@@ -457,10 +503,72 @@ mod tests {
 
     #[test]
     fn results_arrive_in_index_order_with_many_workers() {
-        let report = Campaign::new("order", 1).workers(8).chunk(1).run(50, |ctx| ctx.index());
+        let report = Campaign::new("order", 1).workers(8).run(50, |ctx| ctx.index());
         let values: Vec<usize> = report.values().copied().collect();
         assert_eq!(values, (0..50).collect::<Vec<_>>());
         assert_eq!(report.workers, 8);
+    }
+
+    #[test]
+    fn work_queues_deal_contiguous_front_loaded_blocks() {
+        let q = WorkQueues::new(11, 4);
+        let drain = |w: usize| -> Vec<usize> {
+            let mut out = Vec::new();
+            while let Some(i) = q.queues[w].lock().pop_front() {
+                out.push(i);
+            }
+            out
+        };
+        assert_eq!(drain(0), vec![0, 1, 2]);
+        assert_eq!(drain(1), vec![3, 4, 5]);
+        assert_eq!(drain(2), vec![6, 7, 8]);
+        assert_eq!(drain(3), vec![9, 10]);
+    }
+
+    #[test]
+    fn work_queues_yield_every_index_exactly_once_with_stealing() {
+        // Pull everything through a single thread, interleaving owner
+        // pops and steals: each index must surface exactly once and the
+        // drained state must be stable (every subsequent pull is None).
+        let q = WorkQueues::new(10, 3);
+        let mut seen = Vec::new();
+        // Drain worker 2's own deque first so its later pulls are steals.
+        while let Some(i) = q.next(2) {
+            seen.push(i);
+            if seen.len() == 7 {
+                break;
+            }
+        }
+        for w in [0, 1, 2, 0, 1, 2] {
+            if let Some(i) = q.next(w) {
+                seen.push(i);
+            }
+        }
+        assert_eq!(q.next(0), None);
+        assert_eq!(q.next(1), None);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thieves_take_from_the_back_owners_from_the_front() {
+        let q = WorkQueues::new(6, 2); // deques: [0,1,2], [3,4,5]
+        assert_eq!(q.next(0), Some(0)); // owner: front
+        // Drain worker 1's own deque, then make it steal from worker 0.
+        assert_eq!(q.next(1), Some(3));
+        assert_eq!(q.next(1), Some(4));
+        assert_eq!(q.next(1), Some(5));
+        assert_eq!(q.next(1), Some(2)); // thief: back of worker 0
+        assert_eq!(q.next(0), Some(1)); // owner unaffected at the front
+        assert_eq!(q.next(0), None);
+        assert_eq!(q.next(1), None);
+    }
+
+    #[test]
+    fn run_isolated_catches_panics_and_passes_values() {
+        assert_eq!(run_isolated(|| 41 + 1), Ok(42));
+        let err = run_isolated(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err.message, "boom 7");
     }
 
     #[test]

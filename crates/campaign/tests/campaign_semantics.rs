@@ -35,7 +35,7 @@ fn jsonl_of(workers: usize, seed: u64) -> String {
 #[test]
 fn jsonl_is_byte_identical_across_worker_counts() {
     // The acceptance bar: RTSIM_WORKERS ∈ {1, 4, 8} produce the same
-    // bytes. Chunking and arrival order must never leak into output.
+    // bytes. Work stealing and arrival order must never leak into output.
     let one = jsonl_of(1, 20040216);
     let four = jsonl_of(4, 20040216);
     let eight = jsonl_of(8, 20040216);
@@ -111,16 +111,33 @@ fn run_vs_serial_reports_both_walls_and_matches() {
 }
 
 #[test]
-fn chunk_size_does_not_change_results() {
-    let value = |chunk: usize| {
-        Campaign::new("chunks", 5)
-            .workers(4)
-            .chunk(chunk)
-            .run(50, |ctx| ctx.rng().next_u64())
+fn skewed_job_costs_do_not_change_results_for_any_worker_count() {
+    // The work-stealing acceptance bar: a deliberately skewed cost mix —
+    // a few jobs orders of magnitude more expensive than the rest, like
+    // MPEG-2 decodes among tiny trials — must still produce bit-identical
+    // JSONL for any worker count, even though which worker runs (or
+    // steals) which job varies run to run.
+    let skewed = |workers: usize| {
+        let report = Campaign::new("skew", 271828).workers(workers).run(60, |ctx| {
+            // Jobs 0, 17 and 43 are the whales; spin scales with a draw
+            // so the cost itself is seeded, not scheduled.
+            let heavy = matches!(ctx.index(), 0 | 17 | 43);
+            let spin = if heavy {
+                200_000 + ctx.rng().gen_range(0u64..50_000)
+            } else {
+                ctx.rng().gen_range(0u64..500)
+            };
+            let acc = std::hint::black_box((0..spin).sum::<u64>());
+            (ctx.index(), acc % 7, ctx.rng().next_u64())
+        });
+        assert_eq!(report.ok_count(), 60);
+        report
             .values()
-            .copied()
-            .collect::<Vec<u64>>()
+            .map(|v| format!("{v:?}"))
+            .collect::<Vec<_>>()
     };
-    assert_eq!(value(1), value(7));
-    assert_eq!(value(1), value(64));
+    let one = skewed(1);
+    for workers in [2, 3, 8] {
+        assert_eq!(one, skewed(workers), "{workers} workers diverged");
+    }
 }

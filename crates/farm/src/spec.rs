@@ -1,0 +1,162 @@
+//! Job-spec → registry resolution: the naming layer between an external
+//! request (an HTTP body, a CLI argument) and a farm matrix cell.
+//!
+//! `rtsim-serve` accepts jobs either by name — scenario / policy / mode
+//! keys, exactly the strings the golden files use — or as a raw grid
+//! spec, the cell's index in the full matrix. Both resolve to the same
+//! [`ResolvedJob`]: the [`Cell`] to simulate plus its global index in
+//! [`full_matrix`] order, from which the `grid-cache-v1` key follows.
+//! Because the index and the label are the same ones `rtsim-farm` /
+//! `rtsim-grid` use when sweeping the full matrix through a grid, a
+//! result computed by a one-shot sweep and a result computed by the
+//! server are interchangeable cache entries — and byte-identical
+//! records.
+
+use crate::registry::{full_matrix, scenario_by_name, Cell, PolicyKind, FARM_SEED};
+
+/// Why a job spec failed to resolve. Each variant names the offending
+/// value so a 4xx response can echo it back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// No registered scenario has this name.
+    UnknownScenario(String),
+    /// No policy kind has this golden-file key.
+    UnknownPolicy(String),
+    /// The mode is neither `preemptive` nor `cooperative`.
+    UnknownMode(String),
+    /// The raw cell index is outside the full matrix.
+    CellOutOfRange(usize),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownScenario(s) => write!(f, "unknown scenario {s:?}"),
+            SpecError::UnknownPolicy(p) => write!(f, "unknown policy {p:?}"),
+            SpecError::UnknownMode(m) => {
+                write!(f, "unknown mode {m:?} (expected preemptive|cooperative)")
+            }
+            SpecError::CellOutOfRange(i) => {
+                write!(f, "cell index {i} is outside the {}-cell matrix", full_matrix().len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A resolved job: the matrix cell plus its global index in
+/// [`full_matrix`] order (the grid's job index for the farm sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedJob {
+    /// Index of the cell in [`full_matrix`] order.
+    pub index: usize,
+    /// The cell itself.
+    pub cell: Cell,
+}
+
+impl ResolvedJob {
+    /// The job's `grid-cache-v1` key: the exact formula
+    /// [`run_matrix_sharded`](crate::registry::run_matrix_sharded)
+    /// applies — `(FARM_SEED, full-matrix index, cell label)` — so a
+    /// cache warmed by `rtsim-farm`/`rtsim-grid` full sweeps is hit by
+    /// the server and vice versa.
+    pub fn cache_key(&self) -> u64 {
+        rtsim_grid::job_key(FARM_SEED, self.index as u64, &self.cell.label())
+    }
+}
+
+/// Resolves a named spec (`scenario`, `policy`, `mode` — golden-file
+/// keys) against the registry.
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] encountered, checking scenario, then
+/// policy, then mode.
+pub fn resolve(scenario: &str, policy: &str, mode: &str) -> Result<ResolvedJob, SpecError> {
+    let scenario = scenario_by_name(scenario)
+        .ok_or_else(|| SpecError::UnknownScenario(scenario.to_owned()))?
+        .name;
+    let policy = PolicyKind::from_key(policy)
+        .ok_or_else(|| SpecError::UnknownPolicy(policy.to_owned()))?;
+    let preemptive = match mode {
+        "preemptive" => true,
+        "cooperative" => false,
+        other => return Err(SpecError::UnknownMode(other.to_owned())),
+    };
+    let cell = Cell {
+        scenario,
+        policy,
+        preemptive,
+    };
+    let index = full_matrix()
+        .iter()
+        .position(|c| *c == cell)
+        .expect("every registry cell appears in the full matrix");
+    Ok(ResolvedJob { index, cell })
+}
+
+/// Resolves a raw grid spec: the cell's index in [`full_matrix`] order.
+///
+/// # Errors
+///
+/// [`SpecError::CellOutOfRange`] when the index exceeds the matrix.
+pub fn resolve_index(index: usize) -> Result<ResolvedJob, SpecError> {
+    full_matrix()
+        .get(index)
+        .map(|&cell| ResolvedJob { index, cell })
+        .ok_or(SpecError::CellOutOfRange(index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_specs_resolve_to_full_matrix_positions() {
+        let job = resolve("paper_fig6", "edf", "preemptive").unwrap();
+        assert_eq!(job.cell.scenario, "paper_fig6");
+        assert_eq!(job.cell.policy, PolicyKind::Edf);
+        assert!(job.cell.preemptive);
+        assert_eq!(full_matrix()[job.index], job.cell);
+        // The raw-index form round-trips to the same job.
+        assert_eq!(resolve_index(job.index).unwrap(), job);
+    }
+
+    #[test]
+    fn every_matrix_cell_resolves_back_to_its_own_index() {
+        for (index, cell) in full_matrix().into_iter().enumerate() {
+            let job = resolve(cell.scenario, cell.policy.key(), cell.mode()).unwrap();
+            assert_eq!(job.index, index, "{}", cell.label());
+            assert_eq!(job.cell, cell);
+        }
+    }
+
+    #[test]
+    fn cache_key_matches_the_grid_formula() {
+        let job = resolve("quickstart", "fifo", "cooperative").unwrap();
+        assert_eq!(
+            job.cache_key(),
+            rtsim_grid::job_key(FARM_SEED, job.index as u64, &job.cell.label()),
+        );
+    }
+
+    #[test]
+    fn bad_specs_name_the_offending_field() {
+        assert_eq!(
+            resolve("nope", "edf", "preemptive"),
+            Err(SpecError::UnknownScenario("nope".into()))
+        );
+        assert_eq!(
+            resolve("paper_fig6", "lifo", "preemptive"),
+            Err(SpecError::UnknownPolicy("lifo".into()))
+        );
+        assert_eq!(
+            resolve("paper_fig6", "edf", "sometimes"),
+            Err(SpecError::UnknownMode("sometimes".into()))
+        );
+        let out = resolve_index(10_000).unwrap_err();
+        assert_eq!(out, SpecError::CellOutOfRange(10_000));
+        assert!(out.to_string().contains("98-cell"));
+    }
+}

@@ -66,12 +66,57 @@ impl CacheStore {
 
     /// Loads the cached record line for `key`, if present.
     ///
-    /// Returns the line without its trailing newline. A missing entry
-    /// is `None`; an unreadable one is also `None` (the caller simply
-    /// re-simulates and overwrites).
+    /// Returns the line without its trailing newline. A missing entry is
+    /// silently `None`; an entry that exists but is damaged — unreadable,
+    /// non-UTF-8, empty, missing the trailing newline every writer
+    /// appends (a truncated write by a non-atomic external tool), or
+    /// holding more than one line — warns on stderr and is also `None`,
+    /// so the caller simply re-simulates and overwrites. Corruption must
+    /// never panic a grid or wedge a long-running server; the entry is
+    /// self-healing on the next store.
+    ///
+    /// Concurrent readers are safe against concurrent [`store`]s of the
+    /// same key because writers publish atomically (tempfile +
+    /// `rename`): a reader observes either the old complete entry or the
+    /// new complete entry, never a torn one.
+    ///
+    /// [`store`]: Self::store
     pub fn load(&self, key: u64) -> Option<String> {
-        let text = fs::read_to_string(self.entry(key)).ok()?;
-        Some(text.trim_end_matches(['\n', '\r']).to_owned())
+        let path = self.entry(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!(
+                    "grid cache: ignoring unreadable entry {}: {e}",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        let Ok(text) = String::from_utf8(bytes) else {
+            eprintln!(
+                "grid cache: ignoring non-UTF-8 entry {} (corrupt; will re-simulate)",
+                path.display()
+            );
+            return None;
+        };
+        let Some(line) = text.strip_suffix('\n') else {
+            eprintln!(
+                "grid cache: ignoring truncated entry {} (no trailing newline; will re-simulate)",
+                path.display()
+            );
+            return None;
+        };
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        if line.is_empty() || line.contains('\n') {
+            eprintln!(
+                "grid cache: ignoring malformed entry {} (expected exactly one record line)",
+                path.display()
+            );
+            return None;
+        }
+        Some(line.to_owned())
     }
 
     /// Stores `line` (one JSONL record, no newline needed) under `key`.
@@ -149,6 +194,36 @@ mod tests {
         // Overwrite is idempotent.
         store.store(key, r#"{"v":1}"#).unwrap();
         assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_entries_are_ignored_not_fatal() {
+        let dir = scratch("damaged");
+        let store = CacheStore::new(&dir);
+        let key = job_key(1, 1, "x");
+        store.store(key, r#"{"v":9}"#).unwrap();
+
+        // Truncated: the trailing newline the writer always appends is
+        // gone, as a torn non-atomic write would leave it.
+        fs::write(store.entry(key), r#"{"v":9}"#).unwrap();
+        assert_eq!(store.load(key), None);
+
+        // Empty file.
+        fs::write(store.entry(key), "").unwrap();
+        assert_eq!(store.load(key), None);
+
+        // More than one record line.
+        fs::write(store.entry(key), "{\"v\":9}\n{\"v\":10}\n").unwrap();
+        assert_eq!(store.load(key), None);
+
+        // Non-UTF-8 garbage.
+        fs::write(store.entry(key), [0xff, 0xfe, 0x00, b'\n']).unwrap();
+        assert_eq!(store.load(key), None);
+
+        // A fresh store heals the entry in place.
+        store.store(key, r#"{"v":11}"#).unwrap();
+        assert_eq!(store.load(key).as_deref(), Some(r#"{"v":11}"#));
         fs::remove_dir_all(&dir).unwrap();
     }
 

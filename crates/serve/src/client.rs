@@ -1,0 +1,87 @@
+//! A minimal blocking HTTP/1.1 client for loopback testing and load
+//! generation.
+//!
+//! One request per connection, mirroring the server's
+//! `Connection: close` discipline: connect, write the request, read to
+//! EOF, split status/headers/body. This is deliberately not a general
+//! client — it exists so `rtsim-serve-flood` and the end-to-end tests
+//! need no external tooling (the hermetic tree has no curl).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The status code of the response line.
+    pub status: u16,
+    /// The response body (this server always sends UTF-8 JSON).
+    pub body: String,
+}
+
+/// Per-request I/O timeout applied to connect, read, and write.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Sends one request and reads the complete response.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed response
+/// framing as `io::Error`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Reply> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response")
+    })?;
+    let (head, payload) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "response without header block")
+    })?;
+    let status = head
+        .lines()
+        .next()
+        .and_then(|line| line.split(' ').nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    Ok(Reply {
+        status,
+        body: payload.to_owned(),
+    })
+}
+
+/// `GET path` convenience wrapper around [`request`].
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Reply> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body, convenience wrapper around [`request`].
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<Reply> {
+    request(addr, "POST", path, Some(body))
+}

@@ -1,0 +1,324 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The workspace is hermetic (no hyper, no tokio), and the service needs
+//! only the subset of RFC 9112 a JSON job API exercises: one request per
+//! connection (`Connection: close` semantics), methods `GET` and `POST`,
+//! bodies delimited by `Content-Length`. The parser is written the way
+//! the campaign JSON/CSV writers are: small, strict, and loud — every
+//! malformed input maps to a definite 4xx instead of a panic or a hang,
+//! with hard caps on the request line, header block, and body so a
+//! hostile or broken client cannot balloon memory.
+
+use std::io::{BufRead, Write};
+
+/// Hard cap on the request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Hard cap on one header line, bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Hard cap on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Hard cap on a request body, bytes.
+pub const MAX_BODY: usize = 256 * 1024;
+
+/// A parsed request: method, target path, headers, raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/v1/jobs/7`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request that could not be parsed, mapped to the 4xx status the
+/// server answers with. Parsing is total: every byte sequence a client
+/// can send lands either in [`Request`] or here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed syntax, bad framing, truncated body: `400`.
+    BadRequest(String),
+    /// Request line over [`MAX_REQUEST_LINE`]: `414`.
+    UriTooLong,
+    /// Body over [`MAX_BODY`]: `413`.
+    BodyTooLarge(usize),
+    /// Header block over its caps: `431`.
+    HeadersTooLarge,
+    /// The client closed the connection before sending anything; not an
+    /// error worth answering (the idle half of a health-checker probe).
+    ConnectionClosed,
+}
+
+impl HttpError {
+    /// The status code this parse failure is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::BodyTooLarge(_) => 413,
+            HttpError::UriTooLong => 414,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::ConnectionClosed => 400, // unanswered in practice
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(msg) => msg.clone(),
+            HttpError::BodyTooLarge(n) => format!("body exceeds {MAX_BODY} bytes (claimed {n})"),
+            HttpError::UriTooLong => format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+            HttpError::HeadersTooLarge => {
+                format!("headers exceed {MAX_HEADERS} lines of {MAX_HEADER_LINE} bytes")
+            }
+            HttpError::ConnectionClosed => "connection closed before a request arrived".into(),
+        }
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line of at most `max` bytes,
+/// not counting the terminator. `Ok(None)` on clean EOF before any byte.
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    over: HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("truncated line (connection closed)".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header bytes".into()));
+                }
+                if line.len() >= max {
+                    return Err(over);
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => {
+                return Err(HttpError::BadRequest(format!("read failed: {e}")));
+            }
+        }
+    }
+}
+
+/// Parses one HTTP/1.1 request from `reader`.
+///
+/// # Errors
+///
+/// Every malformed, oversized, or truncated input maps to an
+/// [`HttpError`] carrying its 4xx status; a connection closed before the
+/// first byte is [`HttpError::ConnectionClosed`].
+pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let line = read_line_limited(reader, MAX_REQUEST_LINE, HttpError::UriTooLong)?
+        .ok_or(HttpError::ConnectionClosed)?;
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!(
+            "malformed method token {method:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_limited(reader, MAX_HEADER_LINE, HttpError::HeadersTooLarge)?
+            .ok_or_else(|| HttpError::BadRequest("connection closed inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header line {line:?}"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?;
+    if let Some(n) = content_length {
+        if n > MAX_BODY {
+            return Err(HttpError::BodyTooLarge(n));
+        }
+        body.resize(n, 0);
+        reader
+            .read_exact(&mut body)
+            .map_err(|_| HttpError::BadRequest(format!("truncated body (expected {n} bytes)")))?;
+    }
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes one complete `Connection: close` JSON response.
+///
+/// # Errors
+///
+/// Propagates socket write errors (the peer may have gone away; the
+/// caller logs and drops the connection).
+pub fn write_response<W: Write>(writer: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        parse_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let req = parse(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 11\r\n\r\n{\"cell\":13}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(std::str::from_utf8(&req.body).unwrap(), r#"{"cell":13}"#);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let req = parse("GET / HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_4xx() {
+        for (raw, status) in [
+            ("GARBAGE\r\n\r\n", 400),                          // no method/path split
+            ("GET /\r\n\r\n", 400),                            // missing version
+            ("GET / SPDY/3\r\n\r\n", 400),                     // wrong protocol
+            ("get / HTTP/1.1\r\n\r\n", 400),                   // lower-case method token
+            ("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),  // header without colon
+            ("POST / HTTP/1.1\r\nContent-Length: pi\r\n\r\n", 400), // unparseable length
+            ("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 400), // truncated body
+            ("GET / HTTP/1.1\r\nHost: x\r\n", 400),            // closed inside headers
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), status, "input {raw:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversize_limits_have_their_own_statuses() {
+        let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert_eq!(parse(&long_path).unwrap_err(), HttpError::UriTooLong);
+
+        let big_header = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "b".repeat(MAX_HEADER_LINE));
+        assert_eq!(parse(&big_header).unwrap_err(), HttpError::HeadersTooLarge);
+
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..=MAX_HEADERS).map(|i| format!("h{i}: v\r\n")).collect::<String>()
+        );
+        assert_eq!(parse(&many_headers).unwrap_err(), HttpError::HeadersTooLarge);
+
+        let huge_body = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert_eq!(
+            parse(&huge_body).unwrap_err(),
+            HttpError::BodyTooLarge(MAX_BODY + 1)
+        );
+    }
+
+    #[test]
+    fn empty_connection_is_closed_not_bad() {
+        assert_eq!(parse("").unwrap_err(), HttpError::ConnectionClosed);
+    }
+
+    #[test]
+    fn responses_carry_framing_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, r#"{"ok":true}"#).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+}

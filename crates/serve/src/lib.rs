@@ -1,0 +1,37 @@
+//! # rtsim-serve — the long-running simulation service
+//!
+//! A loopback HTTP/1.1 front end over the farm registry: clients POST
+//! simulation-job specs (scenario/policy/mode names or raw matrix cell
+//! indices), the service schedules them on a panic-isolated worker pool,
+//! and repeat queries are answered from a cache keyed by the same
+//! `grid-cache-v1` formula the one-shot sweeps use — so a cache warmed
+//! by `rtsim-farm`/`rtsim-grid` is hit by the server and vice versa, and
+//! every result body is byte-identical to the corresponding golden line.
+//!
+//! The whole stack is hermetic: the HTTP layer ([`http`]) is hand-rolled
+//! on `std::net::TcpListener`, as are the client ([`client`]) the flood
+//! generator and the end-to-end tests use. No external crates, no async
+//! runtime — blocking threads coordinated by the same
+//! [`rtsim_kernel::sync`] channel/mutex wrappers the campaign pool uses.
+//!
+//! ## Endpoints
+//!
+//! | Method + path        | Meaning                                        |
+//! |----------------------|------------------------------------------------|
+//! | `POST /v1/jobs`      | Enqueue a job; replies with id, key, cache-hit |
+//! | `GET /v1/jobs/<id>`  | Job status and (when done) its result          |
+//! | `GET /v1/results/<key>` | Raw golden line for a cache key, verbatim   |
+//! | `GET /v1/healthz`    | Liveness probe                                 |
+//! | `GET /v1/metrics`    | Counters + p50/p99 service time                |
+//! | `POST /v1/shutdown`  | Clean shutdown (drain, then exit)              |
+//!
+//! See [`server`] for the request lifecycle, the cache fast path, and
+//! the shutdown protocol.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,249 @@
+//! End-to-end service tests over a real loopback socket: the full
+//! enqueue → poll → result lifecycle, the byte-identical cache
+//! contract against `rtsim-farm`'s rendering, and the malformed-HTTP
+//! table (the server answers 4xx and stays up).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rtsim_campaign::json::Json;
+use rtsim_farm::registry::run_cell;
+use rtsim_farm::{golden, spec};
+use rtsim_grid::CacheStore;
+use rtsim_serve::{client, start, ServeConfig, ServerHandle};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtsim-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn serve(tag: &str) -> (ServerHandle, PathBuf) {
+    let dir = scratch(tag);
+    let handle = start(ServeConfig {
+        port: 0,
+        workers: 2,
+        handlers: 2,
+        queue_cap: 64,
+        cache: Some(CacheStore::new(&dir)),
+    })
+    .expect("bind ephemeral loopback port");
+    (handle, dir)
+}
+
+fn parse(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e}"))
+}
+
+/// Polls `GET /v1/jobs/<id>` until the job leaves the queue.
+fn await_job(addr: std::net::SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let reply = client::get(addr, &format!("/v1/jobs/{id}")).unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let json = parse(&reply.body);
+        let status = json.get("status").and_then(Json::as_str).unwrap().to_owned();
+        if status == "done" || status == "failed" {
+            return json;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck {status:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn enqueue_poll_result_and_cache_hit_lifecycle() {
+    let (handle, dir) = serve("lifecycle");
+    let addr = handle.addr();
+
+    // Health first: the server is up.
+    let health = client::get(addr, "/v1/healthz").unwrap();
+    assert_eq!((health.status, health.body.as_str()), (200, r#"{"ok":true}"#));
+
+    // Cold enqueue by name: accepted, not a cache hit.
+    let body = r#"{"scenario":"quickstart","policy":"fifo","mode":"preemptive"}"#;
+    let posted = client::post(addr, "/v1/jobs", body).unwrap();
+    assert_eq!(posted.status, 202, "{}", posted.body);
+    let posted = parse(&posted.body);
+    assert_eq!(posted.get("cache_hit").and_then(Json::as_bool), Some(false));
+    let id = posted.get("job").and_then(Json::as_u64).unwrap();
+    let key = posted.get("key").and_then(Json::as_str).unwrap().to_owned();
+
+    // The job completes and its embedded result matches a direct
+    // in-process run of the same cell, field for field.
+    let done = await_job(addr, id);
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+    let expected = {
+        let job = spec::resolve("quickstart", "fifo", "preemptive").unwrap();
+        assert_eq!(key, format!("{:016x}", job.cache_key()));
+        golden::render_line(&run_cell(job.cell))
+    };
+    // Byte-identical contract: the raw result body IS the golden line.
+    let result = client::get(addr, &format!("/v1/results/{key}")).unwrap();
+    assert_eq!((result.status, result.body), (200, expected.clone()));
+
+    // Duplicate POST: served from cache, result embedded, same bytes.
+    let dup = client::post(addr, "/v1/jobs", body).unwrap();
+    assert_eq!(dup.status, 200, "{}", dup.body);
+    let dup = parse(&dup.body);
+    assert_eq!(dup.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(dup.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(dup.get("result").map(Json::to_string), Some(expected.clone()));
+
+    // The persistent cache now holds the entry under the same key the
+    // grid formula computes — so a grid sweep would hit it too.
+    let store = CacheStore::new(&dir);
+    let job = spec::resolve("quickstart", "fifo", "preemptive").unwrap();
+    assert_eq!(store.load(job.cache_key()), Some(expected));
+
+    // Metrics reflect the story: one miss, one hit, nothing failed.
+    let metrics = parse(&client::get(addr, "/v1/metrics").unwrap().body);
+    let count = |k: &str| metrics.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(count("jobs_accepted"), 2);
+    assert_eq!(count("jobs_completed"), 1);
+    assert_eq!(count("cache_misses"), 1);
+    assert_eq!(count("cache_hits"), 1);
+    assert_eq!(count("jobs_failed"), 0);
+    assert_eq!(count("queue_depth"), 0);
+    assert!(count("service_p50_ns") > 0);
+
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_cache_warmed_by_a_one_shot_sweep_is_served_without_simulating() {
+    let (handle, dir) = serve("prewarmed");
+    let addr = handle.addr();
+
+    // Warm the cache the way rtsim-farm / rtsim-grid would: store the
+    // rendered golden line under the grid-formula key, out of band.
+    let job = spec::resolve("paper_fig6", "edf", "cooperative").unwrap();
+    let line = golden::render_line(&run_cell(job.cell));
+    CacheStore::new(&dir).store(job.cache_key(), &line).unwrap();
+
+    // The very first POST for that cell is already a hit.
+    let body = r#"{"scenario":"paper_fig6","policy":"edf","mode":"cooperative"}"#;
+    let posted = client::post(addr, "/v1/jobs", body).unwrap();
+    assert_eq!(posted.status, 200, "{}", posted.body);
+    let posted = parse(&posted.body);
+    assert_eq!(posted.get("cache_hit").and_then(Json::as_bool), Some(true));
+
+    // Raw-index spec resolves to the same key and also hits.
+    let by_index = client::post(addr, "/v1/jobs", &format!("{{\"cell\":{}}}", job.index)).unwrap();
+    assert_eq!(by_index.status, 200, "{}", by_index.body);
+    let by_index = parse(&by_index.body);
+    assert_eq!(by_index.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        by_index.get("key").and_then(Json::as_str),
+        posted.get("key").and_then(Json::as_str),
+    );
+
+    let metrics = parse(&client::get(addr, "/v1/metrics").unwrap().body);
+    assert_eq!(metrics.get("cache_misses").and_then(Json::as_u64), Some(0));
+    assert_eq!(metrics.get("cache_hits").and_then(Json::as_u64), Some(2));
+
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Writes raw bytes to the socket (closing our write half so truncated
+/// bodies read as EOF, not a stall) and returns the status line.
+fn raw_status(addr: std::net::SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    text.lines().next().unwrap_or_default().to_owned()
+}
+
+#[test]
+fn malformed_http_gets_4xx_and_the_server_stays_up() {
+    let (handle, dir) = serve("malformed");
+    let addr = handle.addr();
+
+    let huge_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+    let cases: Vec<(Vec<u8>, &str)> = vec![
+        (b"GARBAGE\r\n\r\n".to_vec(), "400"),
+        (b"get /v1/healthz HTTP/1.1\r\n\r\n".to_vec(), "400"),
+        (b"GET /v1/healthz SPDY/3\r\n\r\n".to_vec(), "400"),
+        (b"GET /v1/healthz HTTP/1.1\r\nno-colon\r\n\r\n".to_vec(), "400"),
+        (b"POST /v1/jobs HTTP/1.1\r\nContent-Length: ten\r\n\r\n".to_vec(), "400"),
+        // Truncated body: Content-Length promises more than arrives.
+        (b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"ce".to_vec(), "400"),
+        (huge_line.into_bytes(), "414"),
+        (b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n".to_vec(), "413"),
+    ];
+    for (raw, expected) in cases {
+        let status = raw_status(addr, &raw);
+        assert!(
+            status.starts_with(&format!("HTTP/1.1 {expected} ")),
+            "{:?} -> {status:?}",
+            String::from_utf8_lossy(&raw),
+        );
+        // After every bad request the server still answers probes.
+        let health = client::get(addr, "/v1/healthz").unwrap();
+        assert_eq!(health.status, 200);
+    }
+
+    // Routing-level rejections: wrong method, unknown route, bad specs.
+    let cases = [
+        ("DELETE", "/v1/jobs", None, 405),
+        ("GET", "/v1/nope", None, 404),
+        ("POST", "/v1/jobs", Some(r#"{"cell":"seven"}"#), 400),
+        ("POST", "/v1/jobs", Some(r#"{"scenario":"nope","policy":"edf","mode":"preemptive"}"#), 400),
+        ("POST", "/v1/jobs", Some(r#"{"cell":10000}"#), 400),
+        ("POST", "/v1/jobs", Some("not json"), 400),
+        ("GET", "/v1/jobs/abc", None, 400),
+        ("GET", "/v1/jobs/424242", None, 404),
+        ("GET", "/v1/results/zzzz", None, 400),
+        ("GET", "/v1/results/0000000000000000", None, 404),
+    ];
+    for (method, path, body, expected) in cases {
+        let reply = client::request(addr, method, path, body).unwrap();
+        assert_eq!(reply.status, expected, "{method} {path}: {}", reply.body);
+    }
+
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_posts_of_an_in_flight_job_coalesce_onto_one_simulation() {
+    let (handle, dir) = serve("coalesce");
+    let addr = handle.addr();
+
+    // Enqueue the same cell several times back-to-back; with only two
+    // workers and one distinct key, the later POSTs either coalesce
+    // onto the in-flight run or (if it already finished) hit the cache.
+    let body = r#"{"scenario":"quickstart","policy":"round_robin","mode":"preemptive"}"#;
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        let posted = client::post(addr, "/v1/jobs", body).unwrap();
+        assert!(posted.status == 200 || posted.status == 202, "{}", posted.body);
+        ids.push(parse(&posted.body).get("job").and_then(Json::as_u64).unwrap());
+    }
+    // All four jobs converge on the same bytes.
+    let results: Vec<String> = ids
+        .iter()
+        .map(|&id| await_job(addr, id).get("result").map(Json::to_string).unwrap())
+        .collect();
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+
+    // Exactly one simulation ran for the four accepted jobs.
+    let metrics = parse(&client::get(addr, "/v1/metrics").unwrap().body);
+    let count = |k: &str| metrics.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(count("jobs_accepted"), 4);
+    assert_eq!(count("cache_misses"), 1);
+    assert_eq!(count("cache_hits") + count("jobs_coalesced"), 3);
+
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,7 +24,11 @@
 //! - [`farm`] — the regression farm: golden-fingerprint sweeps of every
 //!   [`scenarios`] system across the whole scheduling-policy matrix,
 //!   checked against pinned goldens by the `rtsim-farm` binary and
-//!   sharded/cached by the `rtsim-grid` binary.
+//!   sharded/cached by the `rtsim-grid` binary;
+//! - [`serve`] — the long-running simulation service: a hermetic
+//!   loopback HTTP/1.1 front end (`rtsim-serve`) over the farm registry
+//!   with a grid-cache fast path, flood-benchmarked by
+//!   `rtsim-serve-flood`.
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -60,6 +64,7 @@ pub use rtsim_comm as comm;
 pub use rtsim_core as core;
 pub use rtsim_kernel as kernel;
 pub use rtsim_mcse as mcse;
+pub use rtsim_serve as serve;
 pub use rtsim_trace as trace;
 
 pub use rtsim_campaign::{Campaign, JobCtx, StatSummary};

@@ -78,7 +78,14 @@ echo "== hermetic check: grid cache round-trip (smoke subset) =="
 # shard count: must be 100 % hits with byte-identical merged results.
 grid_cache="$(mktemp -d)"
 bench_out="$(mktemp -d)"
-trap 'rm -rf "$grid_cache" "$bench_out"' EXIT
+serve_cache="$(mktemp -d)"
+serve_log="$(mktemp)"
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$grid_cache" "$bench_out" "$serve_cache" "$serve_log"
+}
+trap cleanup EXIT
 RTSIM_BENCH_SMOKE=1 RTSIM_GRID_CACHE="$grid_cache" \
     "$repo/target/release/rtsim-grid" --check-cache
 
@@ -115,5 +122,36 @@ RTSIM_BENCH_SMOKE=1 RTSIM_BENCH_OUT="$bench_out" \
 "$repo/target/release/rtsim-bench-diff" --max-regress-pct 900 \
     "$repo/crates/bench/baselines/bench-ab_speed_table.jsonl" \
     "$bench_out/bench-ab_speed_table.jsonl"
+
+echo "== hermetic check: simulation service flood (scratch cache) =="
+# Boot rtsim-serve on an ephemeral loopback port against a scratch
+# cache, flood it with the seeded smoke mix, and require a 100 % warm
+# hit rate plus a clean drain-and-exit shutdown. The deterministic
+# count cases of the flood trajectory (cold_misses, warm_misses) are
+# then diffed against the committed baseline at zero tolerance: for a
+# fixed seed and matrix the cold phase must miss exactly once per
+# distinct cell and the warm phase must never miss. (The latency cases
+# are machine-dependent and exist only in the fresh file, which
+# rtsim-bench-diff lists without gating.)
+RTSIM_BENCH_SMOKE=1 RTSIM_SERVE_PORT=0 RTSIM_GRID_CACHE="$serve_cache" \
+    "$repo/target/release/rtsim-serve" > "$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$serve_log" 2>/dev/null && break
+    sleep 0.1
+done
+serve_addr="$(sed -n 's/^rtsim-serve listening on //p' "$serve_log")"
+if [ -z "$serve_addr" ]; then
+    echo "FAIL: rtsim-serve never reported its address" >&2
+    exit 1
+fi
+RTSIM_BENCH_SMOKE=1 RTSIM_BENCH_OUT="$bench_out" \
+    "$repo/target/release/rtsim-serve-flood" \
+    --addr "$serve_addr" --assert-warm-hit-rate 100 --shutdown
+wait "$serve_pid"
+serve_pid=""
+"$repo/target/release/rtsim-bench-diff" --max-regress-pct 0 \
+    "$repo/crates/bench/baselines/bench-serve_flood.jsonl" \
+    "$bench_out/bench-serve_flood.jsonl"
 
 echo "hermetic check PASSED"
