@@ -1,0 +1,40 @@
+//! # rtsim-check — exhaustive-interleaving checker
+//!
+//! The kernel's stable tie-breaks pick *one* legal schedule out of many;
+//! the regression farm's goldens therefore only prove "same answer as
+//! yesterday" for that one arbitrary interleaving. This crate converts
+//! that into exhaustive verification, in the spirit of model-checking
+//! RTOS schedulers (cf. the Spin analyses of FreeRTOS): a depth-first
+//! explorer replays small scenarios through the Segment-mode kernel,
+//! systematically resolving every nondeterministic choice point —
+//! same-timestamp event dispatch order, ready ties, interrupt-arrival
+//! windows — via the kernel's [`rtsim_kernel::ChoicePolicy`] hook, and
+//! evaluates invariant oracles on every reachable schedule.
+//!
+//! - [`explore`]: the DFS itself, with canonical-trace FNV-1a state
+//!   hashing to prune revisits, a run/state/depth [`Budget`], and a
+//!   deterministic [`Counterexample`] (the exact choice stack) on
+//!   violation.
+//! - [`oracle`]: the invariant trait and built-ins — no missed
+//!   deadline, no lost message, all tasks terminate, mutex exclusion,
+//!   critical-section exclusion, priority-inversion bound.
+//! - [`scenarios`]: registered check targets, including seeded mutants
+//!   the checker MUST flag.
+//!
+//! The `rtsim-check` binary drives the registry and emits explored-state
+//! counts as a `bench-v1` trajectory, so coverage regressions gate like
+//! performance regressions.
+
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod explore;
+pub mod oracle;
+pub mod scenarios;
+
+pub use explore::{explore, explore_with, replay, Budget, ChoiceFrame, Counterexample, Exploration};
+pub use oracle::{
+    built_ins, AllTasksTerminate, CriticalSectionExclusion, MutexExclusion, NoLostMessage,
+    NoMissedDeadline, Oracle, PriorityInversionBound, Violation,
+};
+pub use scenarios::{scenario_by_name, CheckScenario, Expectation, SCENARIOS};

@@ -1,0 +1,69 @@
+//! The checker is itself checked: every seeded mutant scenario MUST be
+//! flagged, its counterexample must carry the responsible oracle, and
+//! replaying the counterexample's exact choice stack must reproduce the
+//! violation deterministically.
+
+use rtsim_check::{explore, replay, scenario_by_name, Budget, Expectation, SCENARIOS};
+
+fn assert_mutant_flagged(name: &str, expected_oracle: &str) {
+    let scenario = scenario_by_name(name).expect("mutant registered");
+    assert_eq!(scenario.expect, Expectation::Violate);
+    let outcome = explore(scenario, &Budget::runs(10_000));
+    let cx = outcome
+        .counterexample
+        .unwrap_or_else(|| panic!("mutant `{name}` was not flagged"));
+    assert!(
+        cx.violations.iter().any(|v| v.oracle == expected_oracle),
+        "mutant `{name}` flagged by {:?}, expected `{expected_oracle}`",
+        cx.violations.iter().map(|v| v.oracle).collect::<Vec<_>>()
+    );
+    // The witness must be replayable: the same forced choices reproduce
+    // the same violation.
+    let (_, violations) = replay(scenario, &cx.choices);
+    assert!(
+        violations.iter().any(|v| v.oracle == expected_oracle),
+        "mutant `{name}` counterexample did not replay"
+    );
+}
+
+#[test]
+fn missed_deadline_mutant_is_flagged() {
+    assert_mutant_flagged("mutant_deadline", "no-missed-deadline");
+}
+
+#[test]
+fn lost_message_mutant_is_flagged() {
+    assert_mutant_flagged("mutant_lost", "no-lost-message");
+}
+
+#[test]
+fn mutex_double_entry_mutant_is_flagged() {
+    assert_mutant_flagged("mutant_mutex", "critical-section-exclusion");
+}
+
+/// Healthy registry entries must elaborate and hold under a smoke
+/// budget — the cheap counterpart of the bin's full sweep.
+#[test]
+fn healthy_scenarios_hold_under_smoke_budget() {
+    for scenario in SCENARIOS.iter().filter(|s| s.expect == Expectation::Hold) {
+        let outcome = explore(scenario, &Budget::runs(200));
+        assert!(
+            outcome.counterexample.is_none(),
+            "healthy `{}` violated:\n{}",
+            scenario.name,
+            outcome.counterexample.unwrap().render()
+        );
+        assert!(outcome.runs > 0);
+    }
+}
+
+/// An empty replay (no forced choices) of a mutant still violates: the
+/// stable schedule itself carries the seeded bug, and `replay` is the
+/// public API a user debugs with.
+#[test]
+fn replay_with_no_choices_takes_the_stable_schedule() {
+    let scenario = scenario_by_name("mutant_deadline").expect("registered");
+    let (trace, violations) = replay(scenario, &[]);
+    assert!(!trace.records().is_empty());
+    assert!(violations.iter().any(|v| v.oracle == "no-missed-deadline"));
+}

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod choice;
 pub mod error;
 pub mod event;
 pub mod process;
@@ -73,6 +74,7 @@ pub mod sync;
 pub mod testutil;
 pub mod time;
 
+pub use choice::{Candidate, CandidateDetail, ChoiceKind, ChoicePolicy, StableTieBreak};
 pub use error::KernelError;
 pub use event::{Event, Wake};
 pub use process::{ProcessContext, ProcessId};

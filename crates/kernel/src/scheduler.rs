@@ -20,6 +20,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::choice::{Candidate, CandidateDetail, ChoiceKind, ChoicePolicy};
 use crate::error::KernelError;
 use crate::event::{Event, Wake};
 use crate::process::{
@@ -92,6 +93,9 @@ pub(crate) struct Kernel {
     yield_rx: Receiver<YieldMsg>,
     alive: usize,
     max_deltas: u64,
+    /// Pluggable tie-break (see [`crate::choice`]); `None` keeps the
+    /// built-in stable order on the original fast path.
+    choice: Option<Box<dyn ChoicePolicy>>,
     pub stats: KernelStats,
 }
 
@@ -110,7 +114,62 @@ impl Kernel {
             yield_rx,
             alive: 0,
             max_deltas: DEFAULT_MAX_DELTAS,
+            choice: None,
             stats: KernelStats::default(),
+        }
+    }
+
+    pub fn set_choice_policy(&mut self, policy: Option<Box<dyn ChoicePolicy>>) {
+        self.choice = policy;
+    }
+
+    /// Consults the installed policy; only called with two or more
+    /// candidates (a single eligible action is not a choice).
+    fn choose(&mut self, kind: ChoiceKind, candidates: &[Candidate]) -> usize {
+        debug_assert!(candidates.len() >= 2);
+        let now = self.now();
+        let policy = self.choice.as_mut().expect("choose without a policy");
+        let idx = policy.choose(now, kind, candidates);
+        assert!(
+            idx < candidates.len(),
+            "choice policy picked index {idx} out of {} candidates",
+            candidates.len()
+        );
+        idx
+    }
+
+    fn dispatch_candidate(&self, pid: ProcessId, wake: Wake) -> Candidate {
+        let label = match wake {
+            Wake::Event(e) => format!(
+                "dispatch {} <- {}",
+                self.procs[pid.index()].name,
+                self.events[e.index()].name
+            ),
+            Wake::Timeout => format!("dispatch {} <- timeout", self.procs[pid.index()].name),
+        };
+        Candidate {
+            detail: CandidateDetail::Dispatch { pid, wake },
+            label,
+        }
+    }
+
+    fn delta_candidate(&self, event: Event) -> Candidate {
+        Candidate {
+            detail: CandidateDetail::DeltaEvent(event),
+            label: format!("delta-notify {}", self.events[event.index()].name),
+        }
+    }
+
+    fn timer_candidate(&self, entry: &TimedEntry) -> Candidate {
+        match entry.action {
+            TimedAction::NotifyEvent(e, _) => Candidate {
+                detail: CandidateDetail::TimerNotify(e),
+                label: format!("timed-notify {}", self.events[e.index()].name),
+            },
+            TimedAction::WakeProcess(pid, _) => Candidate {
+                detail: CandidateDetail::TimerWake(pid),
+                label: format!("timer-wake {}", self.procs[pid.index()].name),
+            },
         }
     }
 
@@ -434,7 +493,21 @@ impl Kernel {
         let mut deltas_at_instant: u64 = 0;
         loop {
             // -- evaluation phase ------------------------------------------
-            while let Some((pid, wake)) = self.runnable.pop_front() {
+            loop {
+                let (pid, wake) = if self.choice.is_some() && self.runnable.len() >= 2 {
+                    let candidates: Vec<Candidate> = self
+                        .runnable
+                        .iter()
+                        .map(|&(pid, wake)| self.dispatch_candidate(pid, wake))
+                        .collect();
+                    let idx = self.choose(ChoiceKind::Dispatch, &candidates);
+                    self.runnable.remove(idx).expect("index validated")
+                } else {
+                    match self.runnable.pop_front() {
+                        Some(next) => next,
+                        None => break,
+                    }
+                };
                 debug_assert_eq!(self.procs[pid.index()].state, ProcState::Runnable);
                 self.stats.process_switches += 1;
                 let msg = self.dispatch(pid, wake);
@@ -453,11 +526,28 @@ impl Kernel {
                         limit: self.max_deltas,
                     });
                 }
-                for e in std::mem::take(&mut self.delta_events) {
-                    if self.events[e.index()].pending == Pending::Delta {
-                        self.events[e.index()].pending = Pending::None;
-                        self.fire(e);
+                // Firing a delta cannot add or cancel delta notifications
+                // (only running processes post ops), so the set taken here
+                // is the whole cycle; the retain drops entries that were
+                // overridden before the cycle started.
+                let mut pending = std::mem::take(&mut self.delta_events);
+                loop {
+                    pending.retain(|e| self.events[e.index()].pending == Pending::Delta);
+                    if pending.is_empty() {
+                        break;
                     }
+                    let idx = if self.choice.is_some() && pending.len() >= 2 {
+                        let candidates: Vec<Candidate> = pending
+                            .iter()
+                            .map(|&e| self.delta_candidate(e))
+                            .collect();
+                        self.choose(ChoiceKind::Delta, &candidates)
+                    } else {
+                        0
+                    };
+                    let e = pending.remove(idx);
+                    self.events[e.index()].pending = Pending::None;
+                    self.fire(e);
                 }
                 continue;
             }
@@ -483,15 +573,29 @@ impl Kernel {
                 self.stats.time_advances += 1;
                 deltas_at_instant = 0;
             }
-            while let Some(Reverse(top)) = self.timers.peek().copied() {
-                if top.time > t {
+            // Collect the whole same-instant ripe set up front (satellite
+            // of the choice hook: the set is a stable slice, not an eager
+            // pop), then fire entries one at a time. Firing cannot add new
+            // ripe entries at `t` — only running processes post timer ops,
+            // and none run until the next evaluation phase — and cannot
+            // revalidate an entry (wait_seq and pending stamps only move
+            // forward), so the retain per iteration only ever shrinks the
+            // set and the collect-then-fire order equals the old eager pop.
+            let mut ripe = self.take_ripe(t);
+            loop {
+                ripe.retain(|e| self.timer_valid(e));
+                if ripe.is_empty() {
                     break;
                 }
-                self.timers.pop();
-                if !self.timer_valid(&top) {
-                    continue;
-                }
-                match top.action {
+                let idx = if self.choice.is_some() && ripe.len() >= 2 {
+                    let candidates: Vec<Candidate> =
+                        ripe.iter().map(|e| self.timer_candidate(e)).collect();
+                    self.choose(ChoiceKind::Timer, &candidates)
+                } else {
+                    0
+                };
+                let entry = ripe.remove(idx);
+                match entry.action {
                     TimedAction::NotifyEvent(e, _) => {
                         self.events[e.index()].pending = Pending::None;
                         self.fire(e);
@@ -502,6 +606,42 @@ impl Kernel {
                 }
             }
         }
+    }
+
+    /// Pops every heap entry ripe at `t` (valid, `time <= t`), in the
+    /// heap's deterministic ascending `(time, stamp)` order — the stable
+    /// same-instant slice the choice hook enumerates over. Invalid
+    /// entries are discarded during the pop.
+    fn take_ripe(&mut self, t: SimTime) -> Vec<TimedEntry> {
+        let mut ripe = Vec::new();
+        while let Some(Reverse(top)) = self.timers.peek().copied() {
+            if top.time > t {
+                break;
+            }
+            self.timers.pop();
+            if self.timer_valid(&top) {
+                ripe.push(top);
+            }
+        }
+        ripe
+    }
+
+    /// The set of timer entries that would fire at the next timed
+    /// instant, as `(instant, candidates)` in the stable `(time, stamp)`
+    /// posting order — independent of heap allocation order. Returns
+    /// `None` when no valid timer is pending. Read-only: the heap is not
+    /// consumed.
+    pub fn ripe_timers(&mut self) -> Option<(SimTime, Vec<Candidate>)> {
+        let t = self.next_timer_time()?;
+        let mut entries: Vec<TimedEntry> = self
+            .timers
+            .iter()
+            .map(|Reverse(e)| *e)
+            .filter(|e| e.time == t && self.timer_valid(e))
+            .collect();
+        entries.sort_unstable();
+        let candidates = entries.iter().map(|e| self.timer_candidate(e)).collect();
+        Some((t, candidates))
     }
 
     pub fn alive_processes(&self) -> usize {

@@ -211,6 +211,24 @@ impl Simulator {
     pub fn next_activity(&mut self) -> Option<SimTime> {
         self.kernel.next_activity()
     }
+
+    /// Installs (or with `None`, removes) a pluggable scheduler tie-break.
+    ///
+    /// See [`crate::choice`]: with a policy installed, every set of two or
+    /// more simultaneously eligible actions — runnable processes, pending
+    /// delta notifications, same-instant ripe timers — is presented to the
+    /// policy instead of being resolved by the built-in stable order.
+    pub fn set_choice_policy(&mut self, policy: Option<Box<dyn crate::choice::ChoicePolicy>>) {
+        self.kernel.set_choice_policy(policy);
+    }
+
+    /// The set of timer entries that would fire at the next timed instant,
+    /// as `(instant, candidates)` in stable posting order — the event
+    /// wheel's same-timestamp ready set exposed as a slice rather than
+    /// observed through eager pops. `None` when no valid timer is pending.
+    pub fn ripe_timers(&mut self) -> Option<(SimTime, Vec<crate::choice::Candidate>)> {
+        self.kernel.ripe_timers()
+    }
 }
 
 impl Default for Simulator {

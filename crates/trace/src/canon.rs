@@ -27,7 +27,7 @@
 
 use std::fmt::{self, Write as _};
 
-use crate::record::TraceData;
+use crate::record::{Record, TraceData};
 use crate::recorder::Trace;
 
 /// Escapes a name or label so it is one whitespace-free token.
@@ -70,30 +70,50 @@ pub fn canonical(trace: &Trace) -> String {
         out.push('\n');
     }
     for r in trace.records() {
-        let _ = write!(out, "{} {} {} ", r.at.as_ps(), r.seq, r.actor.index());
-        match &r.data {
-            TraceData::State(s) => {
-                let _ = write!(out, "S {s}");
-            }
-            TraceData::Overhead { kind, duration } => {
-                let _ = write!(out, "O {kind} {}", duration.as_ps());
-            }
-            TraceData::Comm { relation, kind } => {
-                let _ = write!(out, "C {} {kind}", relation.index());
-            }
-            TraceData::QueueDepth { depth, capacity } => {
-                let _ = write!(out, "Q {depth}/{capacity}");
-            }
-            TraceData::ResourceHeld(held) => {
-                let _ = write!(out, "R {}", if *held { "acquired" } else { "released" });
-            }
-            TraceData::Annotation(label) => {
-                out.push_str("A ");
-                escape_into(&mut out, label);
-            }
-        }
+        canonical_record_into(&mut out, r);
         out.push('\n');
     }
+    out
+}
+
+/// Renders one record's canonical line (no trailing newline) into `out`.
+/// Shared by [`canonical`] and [`canonical_record`] so the bytes cannot
+/// diverge between the whole-trace and incremental forms.
+fn canonical_record_into(out: &mut String, r: &Record) {
+    let _ = write!(out, "{} {} {} ", r.at.as_ps(), r.seq, r.actor.index());
+    match &r.data {
+        TraceData::State(s) => {
+            let _ = write!(out, "S {s}");
+        }
+        TraceData::Overhead { kind, duration } => {
+            let _ = write!(out, "O {kind} {}", duration.as_ps());
+        }
+        TraceData::Comm { relation, kind } => {
+            let _ = write!(out, "C {} {kind}", relation.index());
+        }
+        TraceData::QueueDepth { depth, capacity } => {
+            let _ = write!(out, "Q {depth}/{capacity}");
+        }
+        TraceData::ResourceHeld(held) => {
+            let _ = write!(out, "R {}", if *held { "acquired" } else { "released" });
+        }
+        TraceData::Annotation(label) => {
+            out.push_str("A ");
+            escape_into(out, label);
+        }
+    }
+}
+
+/// Renders one record's canonical line, exactly as it would appear in
+/// [`canonical`] output (without the trailing newline).
+///
+/// This is the incremental face of the canonical format: a consumer that
+/// hashes records as they are appended — e.g. the `rtsim-check` explorer
+/// folding a trace prefix into its visited-state hash — gets the same
+/// byte stream as hashing [`canonical`]'s record section at the end.
+pub fn canonical_record(r: &Record) -> String {
+    let mut out = String::new();
+    canonical_record_into(&mut out, r);
     out
 }
 

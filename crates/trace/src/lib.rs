@@ -41,7 +41,7 @@ pub mod stats;
 pub mod timeline;
 pub mod vcd;
 
-pub use canon::{canonical, write_canonical};
+pub use canon::{canonical, canonical_record, write_canonical};
 pub use csv::write_csv;
 pub use vcd::write_vcd;
 pub use measure::{Job, Measure};

@@ -28,7 +28,12 @@
 //! - [`serve`] — the long-running simulation service: a hermetic
 //!   loopback HTTP/1.1 front end (`rtsim-serve`) over the farm registry
 //!   with a grid-cache fast path, flood-benchmarked by
-//!   `rtsim-serve-flood`.
+//!   `rtsim-serve-flood`;
+//! - [`check`] — the schedule explorer: `rtsim-check` replays small
+//!   scenarios through the Segment-mode kernel while enumerating every
+//!   nondeterministic tie (dispatch, delta, timer) depth-first, prunes
+//!   revisited states by canonical-trace fingerprint, and reports any
+//!   invariant violation with a replayable choice-stack counterexample.
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -57,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub use rtsim_campaign as campaign;
+pub use rtsim_check as check;
 pub use rtsim_farm as farm;
 pub use rtsim_grid as grid;
 pub use rtsim_farm::scenarios;

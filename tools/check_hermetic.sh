@@ -123,6 +123,19 @@ RTSIM_BENCH_SMOKE=1 RTSIM_BENCH_OUT="$bench_out" \
     "$repo/crates/bench/baselines/bench-ab_speed_table.jsonl" \
     "$bench_out/bench-ab_speed_table.jsonl"
 
+echo "== hermetic check: schedule explorer smoke + coverage baseline =="
+# Exhaustively explore two scenarios under a smoke budget (both finish
+# well inside it) and gate the explored-state trajectory against the
+# committed baseline at zero tolerance: exploration is deterministic,
+# so any drift in state/run/trace counts is a real behaviour change in
+# the kernel's choice points, not noise.
+RTSIM_BENCH_SMOKE=1 RTSIM_BENCH_OUT="$bench_out" \
+    "$repo/target/release/rtsim-check" --budget 10000 \
+    --scenario irq_races --scenario pipeline
+"$repo/target/release/rtsim-bench-diff" --max-regress-pct 0 \
+    "$repo/crates/bench/baselines/bench-check.jsonl" \
+    "$bench_out/bench-check.jsonl"
+
 echo "== hermetic check: simulation service flood (scratch cache) =="
 # Boot rtsim-serve on an ephemeral loopback port against a scratch
 # cache, flood it with the seeded smoke mix, and require a 100 % warm
