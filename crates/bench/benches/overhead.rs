@@ -44,6 +44,7 @@ fn main() {
             context_save: OverheadSpec::fixed(us(2)),
             scheduling: OverheadSpec::formula(|v| us(1) * v.ready_tasks as u64),
             context_load: OverheadSpec::fixed(us(2)),
+            migration: OverheadSpec::zero(),
         })
     });
 }

@@ -79,6 +79,7 @@ fn main() {
                     OverheadKind::ContextSave => save += 1,
                     OverheadKind::Scheduling => sched += 1,
                     OverheadKind::ContextLoad => load += 1,
+                    OverheadKind::Migration => {} // single-core: never recorded
                 }
             }
         }

@@ -84,6 +84,7 @@ fn main() {
             context_save: OverheadSpec::fixed(us(2)),
             scheduling: OverheadSpec::formula(move |v| us(per_task_us) * v.ready_tasks as u64),
             context_load: OverheadSpec::fixed(us(2)),
+            migration: OverheadSpec::zero(),
         };
         report.record_samples(
             &format!("formula/{per_task_us}us_per_ready"),

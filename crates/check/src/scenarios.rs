@@ -204,6 +204,50 @@ fn pipeline_system() -> SystemModel {
     model
 }
 
+/// A dual-core migration race: three equal-priority floaters woken by
+/// one broadcast on a two-core processor that charges a migration
+/// overhead. The wake order — a kernel tie — decides which two tasks
+/// win the cores, where the loser resumes after its delay, and hence
+/// who pays the migration cost; deadlines and the built-in invariants
+/// must hold on **every** core assignment.
+fn smp_migration_system() -> SystemModel {
+    let mut model = SystemModel::new("smp_migration");
+    model.event("Go", EventPolicy::Fugitive);
+    model.software_processor(
+        "CPU",
+        rtsim_core::Overheads::zero().with_migration(us(5)),
+    );
+    model.processor_cores("CPU", 2);
+    model.function_script(
+        TaskConfig::new("Clock"),
+        vec![s::delay(us(10)), s::signal("Go")],
+    );
+    model.map("Clock", Mapping::Hardware);
+    // Distinct exec times keep the completion timers apart (the race
+    // under test is the wake order, not completion ties), and only one
+    // task suspends and resumes. Parallel dispatch makes the tree deep
+    // (each core's acquire is its own timer chain), but exploration
+    // still completes exhaustively at ~18k runs.
+    model.function_script(
+        TaskConfig::new("Flo_A").priority(3).deadline(us(400)),
+        vec![
+            s::await_event("Go"),
+            s::exec(us(20)),
+            s::delay(us(15)),
+            s::exec(us(20)),
+        ],
+    );
+    model.map_to_processor("Flo_A", "CPU");
+    for (name, exec) in [("Flo_B", 24), ("Flo_C", 28)] {
+        model.function_script(
+            TaskConfig::new(name).priority(3).deadline(us(400)),
+            vec![s::await_event("Go"), s::exec(us(exec))],
+        );
+        model.map_to_processor(name, "CPU");
+    }
+    model
+}
+
 /// MUTANT: a 100 µs job on a task whose relative deadline is 50 µs —
 /// the completion is late on every schedule.
 fn mutant_deadline_system() -> SystemModel {
@@ -330,6 +374,13 @@ pub static SCENARIOS: &[CheckScenario] = &[
     CheckScenario {
         name: "pipeline",
         build: pipeline_system,
+        horizon: SimDuration::from_ms(10),
+        oracles: built_ins,
+        expect: Expectation::Hold,
+    },
+    CheckScenario {
+        name: "smp_migration",
+        build: smp_migration_system,
         horizon: SimDuration::from_ms(10),
         oracles: built_ins,
         expect: Expectation::Hold,

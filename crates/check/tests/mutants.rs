@@ -57,6 +57,47 @@ fn healthy_scenarios_hold_under_smoke_budget() {
     }
 }
 
+/// The dual-core migration scenario genuinely races: exploration
+/// branches on the wake-order ties, every interleaving holds, and the
+/// stable schedule uses both cores with at least one charged migration.
+#[test]
+fn smp_migration_races_hold_and_the_stable_schedule_migrates() {
+    let scenario = scenario_by_name("smp_migration").expect("registered");
+    let outcome = explore(scenario, &Budget::runs(2_000));
+    assert!(
+        outcome.counterexample.is_none(),
+        "smp_migration violated:\n{}",
+        outcome.counterexample.unwrap().render()
+    );
+    assert!(outcome.runs > 1, "no kernel ties — the race evaporated");
+
+    let (trace, violations) = replay(scenario, &[]);
+    assert!(violations.is_empty(), "{violations:?}");
+    let cores: std::collections::BTreeSet<usize> = trace
+        .records()
+        .iter()
+        .filter_map(|r| match r.data {
+            rtsim_trace::TraceData::Core(c) => Some(c),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cores.len(), 2, "stable schedule never used the second core");
+    let migrations = trace
+        .records()
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.data,
+                rtsim_trace::TraceData::Overhead {
+                    kind: rtsim_trace::OverheadKind::Migration,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(migrations >= 1, "no schedule ever charged a migration");
+}
+
 /// An empty replay (no forced choices) of a mutant still violates: the
 /// stable schedule itself carries the seeded bug, and `replay` is the
 /// public API a user debugs with.

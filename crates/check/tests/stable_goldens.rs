@@ -1,6 +1,6 @@
 //! Regression pin for the choice hook itself: installing the identity
-//! policy ([`StableTieBreak`]) must reproduce every one of the 98 farm
-//! golden fingerprints bit-for-bit. If adding the `ChoicePolicy`
+//! policy ([`StableTieBreak`]) must reproduce every farm golden
+//! fingerprint bit-for-bit. If adding the `ChoicePolicy`
 //! plumbing perturbed any kernel ordering — dispatch, delta or timed —
 //! some cell's canonical trace (and so its fingerprint) would move, and
 //! this test names the cell.
@@ -10,17 +10,17 @@ use rtsim_farm::{diff, fingerprint, goldens_path};
 use rtsim_kernel::{ExecMode, SimTime, StableTieBreak};
 
 #[test]
-fn stable_tie_break_reproduces_all_98_farm_goldens() {
+fn stable_tie_break_reproduces_all_farm_goldens() {
     let goldens = std::fs::read_to_string(goldens_path())
         .expect("pinned goldens at tests/goldens/farm.jsonl");
     let cells = full_matrix();
-    assert_eq!(cells.len(), 98, "full matrix drifted");
+    assert_eq!(cells.len(), 160, "full matrix drifted");
     let results: Vec<CellResult> = cells
         .into_iter()
         .map(|cell| {
             let scenario =
                 scenario_by_name(cell.scenario).expect("matrix names a registered scenario");
-            let mut model = (scenario.build)();
+            let mut model = (scenario.build)(cell.cores);
             model.override_schedulers(cell.preemptive, |_| cell.policy.make());
             model.exec_mode(ExecMode::Segment);
             let mut system = model.elaborate().expect("scenario elaborates");

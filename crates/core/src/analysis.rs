@@ -102,6 +102,36 @@ pub fn assign_rate_monotonic(mut tasks: Vec<PeriodicTask>) -> Vec<PeriodicTask> 
     tasks
 }
 
+/// Partitions a task set onto `cores` processors with the classic
+/// first-fit decreasing-on-nothing heuristic: tasks are taken in input
+/// order and placed on the first core whose utilization, including the
+/// newcomer, stays at or below the Liu & Layland bound for the grown
+/// task count. Returns one `Vec<usize>` of task indices per core, or
+/// `None` when some task fits on no core (the set is not partitionable
+/// under this sufficient test — an exact per-core
+/// [`response_time_analysis`] may still succeed).
+///
+/// The result is intended to drive a partitioned rate-monotonic SMP
+/// configuration: pin each returned group to its core index and assign
+/// rate-monotonic priorities per group.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn partition_first_fit(tasks: &[PeriodicTask], cores: usize) -> Option<Vec<Vec<usize>>> {
+    assert!(cores > 0, "partitioning needs at least one core");
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); cores];
+    let mut load = vec![0f64; cores];
+    for (i, task) in tasks.iter().enumerate() {
+        let u = task.utilization();
+        let slot = (0..cores)
+            .find(|&c| load[c] + u <= liu_layland_bound(bins[c].len() + 1) + 1e-12)?;
+        bins[slot].push(i);
+        load[slot] += u;
+    }
+    Some(bins)
+}
+
 /// Result of the exact analysis for one task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResponseTime {
@@ -277,5 +307,127 @@ mod tests {
     #[should_panic(expected = "non-zero period")]
     fn zero_period_rejected() {
         let _ = task("bad", 1, 0, 1);
+    }
+
+    #[test]
+    fn first_fit_packs_complementary_pairs() {
+        // Four tasks of utilization ~0.5 need two cores pairwise; the
+        // Liu & Layland bound for two tasks (0.828) admits 0.4 + 0.4.
+        let tasks = vec![
+            task("a", 40, 100, 0),
+            task("b", 40, 100, 0),
+            task("c", 40, 100, 0),
+            task("d", 40, 100, 0),
+        ];
+        let bins = partition_first_fit(&tasks, 2).expect("partitionable");
+        assert_eq!(bins, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn first_fit_fails_when_capacity_exhausted() {
+        // Three near-saturating tasks cannot share two cores.
+        let tasks = vec![
+            task("a", 90, 100, 0),
+            task("b", 90, 100, 0),
+            task("c", 90, 100, 0),
+        ];
+        assert_eq!(partition_first_fit(&tasks, 2), None);
+        assert!(partition_first_fit(&tasks, 3).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn first_fit_rejects_zero_cores() {
+        let _ = partition_first_fit(&[], 0);
+    }
+
+    /// Generates 1..=12 tasks with random periods (possibly duplicated).
+    fn gen_tasks(rng: &mut rtsim_kernel::testutil::Rng) -> Vec<PeriodicTask> {
+        let n = rng.gen_range(1usize..13);
+        (0..n)
+            .map(|i| {
+                task(
+                    &format!("t{i}"),
+                    1 + rng.gen_range(0u64..20),
+                    10 * rng.gen_range(1u64..16),
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prop_rm_priorities_are_permutation_of_1_to_n() {
+        rtsim_kernel::testutil::check(64, gen_tasks, |tasks| {
+            let assigned = assign_rate_monotonic(tasks.clone());
+            let mut prios: Vec<u32> = assigned.iter().map(|t| t.priority.0).collect();
+            prios.sort_unstable();
+            let expected: Vec<u32> = (1..=tasks.len() as u32).collect();
+            assert_eq!(prios, expected);
+        });
+    }
+
+    #[test]
+    fn prop_rm_invariant_under_input_permutation_for_distinct_periods() {
+        rtsim_kernel::testutil::check(
+            64,
+            |rng| {
+                // Distinct periods by construction: strictly increasing,
+                // then a random Fisher-Yates shuffle of the indices.
+                let n = rng.gen_range(1usize..13);
+                let tasks: Vec<PeriodicTask> = (0..n)
+                    .map(|i| {
+                        task(
+                            &format!("t{i}"),
+                            1 + rng.gen_range(0u64..10),
+                            10 * (i as u64 + 1) + rng.gen_range(0u64..10),
+                            0,
+                        )
+                    })
+                    .collect();
+                let mut perm: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    let j = rng.gen_range(0usize..i + 1);
+                    perm.swap(i, j);
+                }
+                (tasks, perm)
+            },
+            |(tasks, perm)| {
+                let direct = assign_rate_monotonic(tasks.clone());
+                let shuffled: Vec<PeriodicTask> =
+                    perm.iter().map(|&i| tasks[i].clone()).collect();
+                let permuted = assign_rate_monotonic(shuffled);
+                for t in &direct {
+                    let other = permuted
+                        .iter()
+                        .find(|o| o.name == t.name)
+                        .expect("same task set");
+                    assert_eq!(
+                        t.priority, other.priority,
+                        "task {} changed priority under input permutation",
+                        t.name
+                    );
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn prop_rm_equal_periods_tie_break_by_input_order() {
+        rtsim_kernel::testutil::check(64, gen_tasks, |tasks| {
+            let assigned = assign_rate_monotonic(tasks.clone());
+            for i in 0..assigned.len() {
+                for j in i + 1..assigned.len() {
+                    if assigned[i].period == assigned[j].period {
+                        assert!(
+                            assigned[i].priority > assigned[j].priority,
+                            "earlier task {} must out-rank later equal-period {}",
+                            assigned[i].name,
+                            assigned[j].name
+                        );
+                    }
+                }
+            }
+        });
     }
 }

@@ -83,6 +83,16 @@ pub(crate) struct TaskEntry {
     /// Context-load overhead to consume on wake (Figure 5: "the thread of
     /// the task which was awaked" executes the context load).
     pub wake_load: Option<SimDuration>,
+    /// Migration overhead to consume on wake, between the scheduling and
+    /// context-load segments (SMP only: set when the task is dispatched
+    /// on a different core than [`TaskEntry::last_core`]).
+    pub wake_migration: Option<SimDuration>,
+    /// The core this task currently occupies (SMP only; `None` while not
+    /// dispatched, and always `None` on single-core processors).
+    pub core: Option<usize>,
+    /// The core this task last ran on, for migration-cost accounting
+    /// (SMP only).
+    pub last_core: Option<usize>,
     pub absolute_deadline: Option<SimTime>,
     pub enqueued_at: SimTime,
     pub enqueue_seq: u64,
@@ -104,6 +114,19 @@ impl TaskEntry {
     }
 }
 
+/// Occupancy of one core of an SMP processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoreSlot {
+    /// No task holds the core; the next election may fill it.
+    Idle,
+    /// The task is dispatched on (or acquiring) the core.
+    Busy(TaskId),
+    /// The previous occupant is mid-relinquish (save/scheduling overhead
+    /// window); the core is claimed and must not be elected onto until
+    /// the relinquish completes.
+    Electing,
+}
+
 /// The mutable RTOS state shared by all tasks of one processor.
 pub(crate) struct RtosState {
     pub name: String,
@@ -119,6 +142,14 @@ pub(crate) struct RtosState {
     pub tasks: Vec<TaskEntry>,
     /// Ready queue in enqueue order; policies impose their own order.
     pub ready: Vec<TaskId>,
+    /// Number of cores. `1` (the default) keeps every code path of the
+    /// original single-core model; SMP state (`core_slots`, per-task core
+    /// fields) is only consulted when `cores > 1`.
+    pub cores: usize,
+    /// Per-core occupancy, `cores` entries. Unused (length 1, always
+    /// `Idle`) on single-core processors, which track occupancy through
+    /// [`RtosState::running`].
+    pub core_slots: Vec<CoreSlot>,
     pub running: Option<TaskId>,
     /// The CPU is inside a save/scheduling overhead window; arrivals
     /// queue and are seen by the pending scheduler pass.
@@ -140,9 +171,12 @@ impl RtosState {
         overheads: Overheads,
         preemption_granularity: Option<SimDuration>,
         preemptive: bool,
+        cores: usize,
         recorder: TraceRecorder,
         proc_actor: ActorId,
     ) -> Self {
+        assert!(cores >= 1, "a processor needs at least one core");
+        assert!(cores <= 64, "affinity masks cover at most 64 cores");
         RtosState {
             name: name.to_owned(),
             policy,
@@ -153,6 +187,8 @@ impl RtosState {
             started: false,
             tasks: Vec::new(),
             ready: Vec::new(),
+            cores,
+            core_slots: vec![CoreSlot::Idle; cores],
             running: None,
             in_overhead: false,
             enqueue_counter: 0,
@@ -170,6 +206,21 @@ impl RtosState {
         actor: ActorId,
     ) -> TaskId {
         let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
+        if self.cores > 1 {
+            let core_mask = if self.cores == 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.cores) - 1
+            };
+            assert!(
+                config.affinity & core_mask != 0,
+                "task `{}` affinity {:#x} allows none of processor `{}`'s {} cores",
+                config.name,
+                config.affinity,
+                self.name,
+                self.cores,
+            );
+        }
         self.tasks.push(TaskEntry {
             config,
             state: TaskState::Created,
@@ -179,6 +230,9 @@ impl RtosState {
             preempt_pending: false,
             wake_sched: None,
             wake_load: None,
+            wake_migration: None,
+            core: None,
+            last_core: None,
             absolute_deadline: None,
             enqueued_at: SimTime::ZERO,
             enqueue_seq: 0,
@@ -346,6 +400,191 @@ impl RtosState {
         let actor = self.entry(id).actor;
         self.recorder.overhead(actor, now, kind, duration);
     }
+
+    /// Whether `id`'s affinity mask admits `core`.
+    pub fn affinity_allows(&self, id: TaskId, core: usize) -> bool {
+        self.entry(id).config.affinity & (1u64 << core) != 0
+    }
+
+    /// Whether `id` currently holds a CPU — the running task on a
+    /// single-core processor, or the occupant of some core slot on SMP.
+    pub fn is_running(&self, id: TaskId) -> bool {
+        if self.cores > 1 {
+            match self.entry(id).core {
+                Some(c) => self.core_slots[c] == CoreSlot::Busy(id),
+                None => false,
+            }
+        } else {
+            self.running == Some(id)
+        }
+    }
+
+    /// Records which core `id` was dispatched on (SMP only; single-core
+    /// processors record nothing, keeping their traces byte-identical to
+    /// the pre-SMP model).
+    pub fn note_core(&mut self, id: TaskId, now: SimTime) {
+        if self.cores > 1 {
+            if let Some(core) = self.entry(id).core {
+                let actor = self.entry(id).actor;
+                self.recorder.core(actor, now, core);
+            }
+        }
+    }
+
+    /// Global SMP election: runs the policy over the ready tasks eligible
+    /// for at least one idle core and returns the winner plus its
+    /// placement. Placement prefers the winner's previous core (avoiding
+    /// a migration charge) and otherwise takes the lowest-numbered
+    /// eligible idle core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns a task that was not offered.
+    fn smp_select(&mut self, now: SimTime) -> Option<(TaskId, usize)> {
+        let idle: Vec<usize> = (0..self.cores)
+            .filter(|&c| self.core_slots[c] == CoreSlot::Idle)
+            .collect();
+        if idle.is_empty() {
+            return None;
+        }
+        let mut ready: Vec<TaskView> = self
+            .ready
+            .iter()
+            .filter(|&&id| idle.iter().any(|&c| self.affinity_allows(id, c)))
+            .map(|&id| self.entry(id).view(id))
+            .collect();
+        if ready.is_empty() {
+            return None;
+        }
+        ready.sort_by_key(|t| t.enqueue_seq);
+        let view = PolicyView {
+            now,
+            ready: &ready,
+            running: None,
+        };
+        let choice = self.policy.select(&view)?;
+        assert!(
+            ready.iter().any(|t| t.id == choice),
+            "policy `{}` selected {choice}, which was not offered",
+            self.policy.name()
+        );
+        let core = match self.entry(choice).last_core {
+            Some(c) if idle.contains(&c) && self.affinity_allows(choice, c) => c,
+            _ => idle
+                .iter()
+                .copied()
+                .find(|&c| self.affinity_allows(choice, c))
+                .expect("offered task has an eligible idle core"),
+        };
+        Some((choice, core))
+    }
+
+    /// Dispatches ready task `id` onto idle `core`: removes it from the
+    /// ready queue, claims the slot, and arms the wake-time overheads the
+    /// task's own coroutine will consume in `acquire` — scheduling (when
+    /// the dispatch itself ran the scheduler), migration (when `core`
+    /// differs from the task's last core), then context load. Returns the
+    /// run event to notify after the lock is dropped.
+    fn smp_dispatch(
+        &mut self,
+        id: TaskId,
+        core: usize,
+        now: SimTime,
+        wake_sched: Option<SimDuration>,
+    ) -> Event {
+        let pos = self
+            .ready
+            .iter()
+            .position(|&t| t == id)
+            .expect("dispatching a task that is not ready");
+        self.ready.swap_remove(pos);
+        self.core_slots[core] = CoreSlot::Busy(id);
+        self.stats.dispatches += 1;
+        let view = self.rtos_view(now);
+        let load = self.overheads.context_load.eval(&view);
+        let migration = match self.entry(id).last_core {
+            Some(prev) if prev != core => Some(self.overheads.migration.eval(&view)),
+            _ => None,
+        };
+        let entry = self.entry_mut(id);
+        entry.core = Some(core);
+        entry.run_granted = true;
+        entry.wake_sched = wake_sched;
+        entry.wake_migration = migration;
+        entry.wake_load = Some(load);
+        entry.run_event
+    }
+
+    /// Fills idle cores with eligible ready tasks, one election per
+    /// dispatch, until no idle core can be matched. `charge_sched` makes
+    /// each awakened task consume a scheduling overhead (idle dispatches
+    /// and wake-ups run the scheduler; the tail of a relinquish does not,
+    /// because the relinquisher already paid for that scheduler pass).
+    /// Returns the run events to notify once the state lock is dropped.
+    pub fn smp_fill_idle(&mut self, now: SimTime, charge_sched: bool) -> Vec<Event> {
+        let mut events = Vec::new();
+        loop {
+            let wake_sched = if charge_sched {
+                Some(self.overheads.scheduling.eval(&self.rtos_view(now)))
+            } else {
+                None
+            };
+            let Some((task, core)) = self.smp_select(now) else {
+                break;
+            };
+            events.push(self.smp_dispatch(task, core, now, wake_sched));
+        }
+        events
+    }
+
+    /// SMP preemption: among the cores `candidate` may run on, finds the
+    /// occupied core whose task the policy would preempt, preferring the
+    /// least urgent such occupant (the one every other preemptible
+    /// occupant would itself preempt). Marks the victim and returns its
+    /// preempt event, or `None` when no occupant should yield.
+    pub fn smp_pick_victim(&mut self, candidate: TaskId, now: SimTime) -> Option<Event> {
+        if !self.preemptive || self.lock_depth > 0 {
+            return None;
+        }
+        let cand_view = self.entry(candidate).view(candidate);
+        let (ready, _) = self.snapshot(now);
+        let mut victim: Option<TaskView> = None;
+        for core in 0..self.cores {
+            let CoreSlot::Busy(running) = self.core_slots[core] else {
+                continue;
+            };
+            if !self.affinity_allows(candidate, core) {
+                continue;
+            }
+            let run_view = self.entry(running).view(running);
+            let view = PolicyView {
+                now,
+                ready: &ready,
+                running: Some(&run_view),
+            };
+            if !self.policy.should_preempt(&view, &cand_view, &run_view) {
+                continue;
+            }
+            victim = match victim {
+                None => Some(run_view),
+                Some(v) => {
+                    // Keep the less urgent of the two occupants: if the
+                    // current victim would itself preempt this occupant,
+                    // this occupant ranks lower and becomes the victim.
+                    if self.policy.should_preempt(&view, &v, &run_view) {
+                        Some(run_view)
+                    } else {
+                        Some(v)
+                    }
+                }
+            };
+        }
+        let v = victim?;
+        self.stats.preemptions += 1;
+        let entry = self.entry_mut(v.id);
+        entry.preempt_pending = true;
+        Some(entry.preempt_event)
+    }
 }
 
 /// One step of the relinquish protocol, as seen by whoever drives it
@@ -435,15 +674,25 @@ pub(crate) fn acquire(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId)
             Some(ev) => ctx.wait_event(ev),
         }
     }
-    let (sched, load) = {
+    let (sched, migration, load) = {
         let mut st = shared.lock();
         let entry = st.entry_mut(me);
-        (entry.wake_sched.take(), entry.wake_load.take())
+        (
+            entry.wake_sched.take(),
+            entry.wake_migration.take(),
+            entry.wake_load.take(),
+        )
     };
     if let Some(d) = sched {
         shared
             .lock()
             .record_overhead(me, ctx.now(), OverheadKind::Scheduling, d);
+        ctx.wait_for(d);
+    }
+    if let Some(d) = migration {
+        shared
+            .lock()
+            .record_overhead(me, ctx.now(), OverheadKind::Migration, d);
         ctx.wait_for(d);
     }
     if let Some(d) = load {
@@ -454,8 +703,13 @@ pub(crate) fn acquire(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId)
     }
     let mut st = shared.lock();
     let now = ctx.now();
+    st.note_core(me, now);
     st.set_task_state(me, now, TaskState::Running);
-    st.entry_mut(me).dispatched_at = now;
+    let entry = st.entry_mut(me);
+    entry.dispatched_at = now;
+    if let Some(core) = entry.core {
+        entry.last_core = Some(core);
+    }
 }
 
 /// Consumes `total` of CPU time with time-accurate preemption and
@@ -491,6 +745,18 @@ pub(crate) fn execute(engine: &dyn Engine, ctx: &mut ProcessContext, me: TaskId,
         }
         if remaining.is_zero() {
             return;
+        }
+        if slice == Some(SimDuration::ZERO) {
+            // The quantum is already exhausted — e.g. a fresh `execute`
+            // call right after one that consumed the slice exactly.
+            // Rotate synchronously instead of arming a zero-delay slice
+            // timer: the delta-cycle yield the timer would introduce lets
+            // same-instant events interleave with the rotation, and under
+            // a preemption granularity it never advances time at all.
+            engine.shared().lock().stats.quantum_expirations += 1;
+            engine.relinquish(ctx, me, TaskState::Ready, true);
+            acquire(engine, ctx, me);
+            continue;
         }
         let bound = match slice {
             Some(s) => s.min(remaining),
@@ -583,7 +849,7 @@ pub(crate) fn task_started(engine: &dyn Engine, ctx: &mut ProcessContext, me: Ta
 /// ... to model critical regions").
 pub(crate) fn lock_preemption(engine: &dyn Engine, me: TaskId) {
     let mut st = engine.shared().lock();
-    debug_assert_eq!(st.running, Some(me), "preemption lock by a non-running task");
+    debug_assert!(st.is_running(me), "preemption lock by a non-running task");
     st.lock_depth += 1;
 }
 
@@ -595,7 +861,7 @@ pub(crate) fn unlock_preemption_prelude(engine: &dyn Engine, me: TaskId, now: Si
     assert!(st.lock_depth > 0, "preemption unlock without a lock");
     st.lock_depth -= 1;
     let must_yield =
-        st.lock_depth == 0 && st.preemptive && best_candidate_preempts(&mut st, now);
+        st.lock_depth == 0 && st.preemptive && best_candidate_preempts(&mut st, me, now);
     if must_yield {
         st.stats.preemptions += 1;
         st.entry_mut(me).preempt_pending = false;
@@ -617,7 +883,7 @@ pub(crate) fn unlock_preemption(engine: &dyn Engine, ctx: &mut ProcessContext, m
 pub(crate) fn reschedule_prelude(engine: &dyn Engine, me: TaskId, now: SimTime) -> bool {
     let mut st = engine.shared().lock();
     let must_yield =
-        st.preemptive && st.lock_depth == 0 && best_candidate_preempts(&mut st, now);
+        st.preemptive && st.lock_depth == 0 && best_candidate_preempts(&mut st, me, now);
     if must_yield {
         st.stats.preemptions += 1;
         st.entry_mut(me).preempt_pending = false;
@@ -655,9 +921,41 @@ pub(crate) fn preemption_point(engine: &dyn Engine, ctx: &mut ProcessContext, me
     }
 }
 
-/// Whether the policy's best ready candidate would preempt the running
-/// task `st.running`.
-fn best_candidate_preempts(st: &mut RtosState, now: SimTime) -> bool {
+/// Whether the policy's best ready candidate would preempt the caller
+/// `me` — the running task on single-core, or the occupant of `me`'s
+/// core on SMP (where only ready tasks whose affinity admits that core
+/// compete for it).
+fn best_candidate_preempts(st: &mut RtosState, me: TaskId, now: SimTime) -> bool {
+    if st.cores > 1 {
+        let Some(core) = st.entry(me).core else {
+            return false;
+        };
+        let mut ready: Vec<TaskView> = st
+            .ready
+            .iter()
+            .filter(|&&id| st.affinity_allows(id, core))
+            .map(|&id| st.entry(id).view(id))
+            .collect();
+        if ready.is_empty() {
+            return false;
+        }
+        ready.sort_by_key(|t| t.enqueue_seq);
+        let run_view = st.entry(me).view(me);
+        let view = PolicyView {
+            now,
+            ready: &ready,
+            running: Some(&run_view),
+        };
+        let Some(best) = st.policy.select(&view) else {
+            return false;
+        };
+        let cand = ready
+            .iter()
+            .find(|t| t.id == best)
+            .copied()
+            .expect("policy selected a non-ready task");
+        return st.policy.should_preempt(&view, &cand, &run_view);
+    }
     let (ready, running) = st.snapshot(now);
     let view = PolicyView {
         now,

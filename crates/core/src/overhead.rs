@@ -114,35 +114,49 @@ pub struct Overheads {
     pub scheduling: OverheadSpec,
     /// Time to load the elected task's context.
     pub context_load: OverheadSpec,
+    /// Time to move a task's context to a different core than the one it
+    /// last ran on. Charged by SMP processors between the scheduling and
+    /// context-load segments of a migrating dispatch; single-core
+    /// processors never incur it. Defaults to zero.
+    pub migration: OverheadSpec,
 }
 
 impl Overheads {
-    /// All three overheads zero — an ideal, cost-free RTOS.
+    /// All overheads zero — an ideal, cost-free RTOS.
     pub const fn zero() -> Self {
         Overheads {
             context_save: OverheadSpec::zero(),
             scheduling: OverheadSpec::zero(),
             context_load: OverheadSpec::zero(),
+            migration: OverheadSpec::zero(),
         }
     }
 
-    /// All three overheads set to the same fixed duration (as in the
-    /// paper's Figure 6: 5 µs each).
+    /// The paper's three overheads set to the same fixed duration (as in
+    /// Figure 6: 5 µs each); migration stays zero.
     pub const fn uniform(d: SimDuration) -> Self {
         Overheads {
             context_save: OverheadSpec::fixed(d),
             scheduling: OverheadSpec::fixed(d),
             context_load: OverheadSpec::fixed(d),
+            migration: OverheadSpec::zero(),
         }
     }
 
-    /// Fixed save / scheduling / load durations.
+    /// Fixed save / scheduling / load durations; migration stays zero.
     pub const fn fixed(save: SimDuration, scheduling: SimDuration, load: SimDuration) -> Self {
         Overheads {
             context_save: OverheadSpec::fixed(save),
             scheduling: OverheadSpec::fixed(scheduling),
             context_load: OverheadSpec::fixed(load),
+            migration: OverheadSpec::zero(),
         }
+    }
+
+    /// Sets the migration cost (builder style).
+    pub fn with_migration(mut self, migration: impl Into<OverheadSpec>) -> Self {
+        self.migration = migration.into();
+        self
     }
 }
 
@@ -190,6 +204,21 @@ mod tests {
     fn zero_is_default() {
         let o = Overheads::default();
         assert_eq!(o.context_save.eval(&view(3)), SimDuration::ZERO);
+        assert_eq!(o.migration.eval(&view(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn migration_defaults_zero_and_builds() {
+        let o = Overheads::uniform(SimDuration::from_us(5));
+        assert_eq!(o.migration.eval(&view(2)), SimDuration::ZERO);
+        let o = o.with_migration(SimDuration::from_us(3));
+        assert_eq!(o.migration.eval(&view(2)), SimDuration::from_us(3));
+        let f = Overheads::fixed(
+            SimDuration::from_us(1),
+            SimDuration::from_us(2),
+            SimDuration::from_us(3),
+        );
+        assert_eq!(f.migration.eval(&view(0)), SimDuration::ZERO);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! - [`PriorityRoundRobin`] — fixed priorities with round-robin among
 //!   equals (POSIX `SCHED_RR`);
 //! - [`EarliestDeadlineFirst`] — dynamic deadlines;
+//! - [`GlobalEdf`] — EDF for SMP processors (one ready queue, the
+//!   earliest deadlines occupy the idle cores);
 //! - [`RateMonotonic`] — static priorities from periods (shorter period
 //!   wins);
 //! - [`from_fn`] — assemble an ad-hoc policy from closures.
@@ -19,6 +21,7 @@
 mod edf;
 mod fifo;
 mod fn_policy;
+mod global_edf;
 mod priority;
 mod priority_rr;
 mod rate_monotonic;
@@ -26,6 +29,7 @@ mod round_robin;
 
 pub use edf::EarliestDeadlineFirst;
 pub use fifo::Fifo;
+pub use global_edf::GlobalEdf;
 pub use fn_policy::{from_fn, FnPolicy};
 pub use priority::PriorityPreemptive;
 pub use priority_rr::PriorityRoundRobin;

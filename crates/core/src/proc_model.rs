@@ -28,7 +28,7 @@ use rtsim_kernel::sync::Mutex;
 use rtsim_kernel::{ExecMode, KernelHandle, SegStep, SimDuration, Simulator, WaitRequest};
 use rtsim_trace::{OverheadKind, TaskState};
 
-use crate::engine::{Engine, EngineKind, RelStep, RtosState};
+use crate::engine::{CoreSlot, Engine, EngineKind, RelStep, RtosState};
 use crate::task::TaskId;
 
 /// The procedure-call engine.
@@ -40,11 +40,13 @@ pub(crate) struct ProcEngine {
 /// elect the first running task. Shared verbatim by the thread-backed and
 /// segment-backed dispatcher processes.
 fn dispatcher_fire(shared: &Mutex<RtosState>, h: &mut dyn KernelHandle) {
-    let notify = {
+    let notify: Vec<rtsim_kernel::Event> = {
         let mut st = shared.lock();
         st.started = true;
-        if st.running.is_some() {
-            None
+        if st.cores > 1 {
+            st.smp_fill_idle(h.now(), true)
+        } else if st.running.is_some() {
+            Vec::new()
         } else {
             let now = h.now();
             // Evaluate the scheduling duration against the full
@@ -53,14 +55,17 @@ fn dispatcher_fire(shared: &Mutex<RtosState>, h: &mut dyn KernelHandle) {
             // ready tasks *when the algorithm runs*).
             let view = st.rtos_view(now);
             let sched = st.overheads.scheduling.eval(&view);
-            st.pick_next(now).map(|next| {
-                let view = st.rtos_view(now);
-                let load = st.overheads.context_load.eval(&view);
-                st.grant(next, Some(sched), Some(load))
-            })
+            st.pick_next(now)
+                .map(|next| {
+                    let view = st.rtos_view(now);
+                    let load = st.overheads.context_load.eval(&view);
+                    st.grant(next, Some(sched), Some(load))
+                })
+                .into_iter()
+                .collect()
         }
     };
-    if let Some(ev) = notify {
+    for ev in notify {
         h.notify(ev);
     }
 }
@@ -100,12 +105,6 @@ impl ProcEngine {
     }
 }
 
-enum ReadyAction {
-    Nothing,
-    Preempt(rtsim_kernel::Event),
-    Dispatch(rtsim_kernel::Event),
-}
-
 impl Engine for ProcEngine {
     fn shared(&self) -> &Arc<Mutex<RtosState>> {
         &self.shared
@@ -124,14 +123,29 @@ impl Engine for ProcEngine {
         phase: u8,
     ) -> RelStep {
         match phase {
-            // Phase 0: leave the Running state, pay the context save.
+            // Phase 0: leave the Running state, pay the context save. On
+            // SMP the task vacates its core slot, which stays `Electing`
+            // (unelectable) until this relinquish's phase 2 frees it;
+            // other cores keep running and dispatching throughout.
             0 => {
                 let mut st = self.shared.lock();
                 let now = h.now();
-                debug_assert_eq!(st.running, Some(me), "relinquish by a non-running task");
                 st.stats.scheduler_runs += 1;
-                st.in_overhead = true;
-                st.running = None;
+                if st.cores > 1 {
+                    let core = st
+                        .entry(me)
+                        .core
+                        .expect("relinquish by a task that holds no core");
+                    debug_assert_eq!(st.core_slots[core], CoreSlot::Busy(me));
+                    st.core_slots[core] = CoreSlot::Electing;
+                    let entry = st.entry_mut(me);
+                    entry.core = None;
+                    entry.last_core = Some(core);
+                } else {
+                    debug_assert_eq!(st.running, Some(me), "relinquish by a non-running task");
+                    st.in_overhead = true;
+                    st.running = None;
+                }
                 if requeue {
                     st.enqueue_ready(me, now, false);
                 } else {
@@ -155,19 +169,35 @@ impl Engine for ProcEngine {
                 RelStep::Wait(sched)
             }
             // Phase 2: elect the successor; it pays its own context load
-            // when it wakes (Figure 5).
+            // when it wakes (Figure 5). On SMP the relinquisher's core is
+            // freed and every fillable idle core is dispatched; the
+            // successors skip the scheduling charge because this task
+            // already paid for the scheduler pass in phase 1.
             _ => {
-                let notify = {
+                let notify: Vec<rtsim_kernel::Event> = {
                     let mut st = self.shared.lock();
                     let now = h.now();
-                    st.in_overhead = false;
-                    st.pick_next(now).map(|next| {
-                        let view = st.rtos_view(now);
-                        let load = st.overheads.context_load.eval(&view);
-                        st.grant(next, None, Some(load))
-                    })
+                    if st.cores > 1 {
+                        let core = st
+                            .entry(me)
+                            .last_core
+                            .expect("phase 0 recorded the vacated core");
+                        debug_assert_eq!(st.core_slots[core], CoreSlot::Electing);
+                        st.core_slots[core] = CoreSlot::Idle;
+                        st.smp_fill_idle(now, false)
+                    } else {
+                        st.in_overhead = false;
+                        st.pick_next(now)
+                            .map(|next| {
+                                let view = st.rtos_view(now);
+                                let load = st.overheads.context_load.eval(&view);
+                                st.grant(next, None, Some(load))
+                            })
+                            .into_iter()
+                            .collect()
+                    }
                 };
-                if let Some(ev) = notify {
+                for ev in notify {
                     h.notify(ev);
                 }
                 RelStep::Done
@@ -176,7 +206,7 @@ impl Engine for ProcEngine {
     }
 
     fn make_ready(&self, h: &mut dyn KernelHandle, target: TaskId) {
-        let action = {
+        let events: Vec<rtsim_kernel::Event> = {
             let mut st = self.shared.lock();
             let now = h.now();
             match st.entry(target).state {
@@ -185,17 +215,33 @@ impl Engine for ProcEngine {
                 _ => {}
             }
             st.enqueue_ready(target, now, true);
-            if !st.started || st.in_overhead {
+            if st.cores > 1 {
+                if !st.started {
+                    Vec::new()
+                } else {
+                    // Fill any idle core first (the arrival may slot in
+                    // without disturbing anyone); if the target is still
+                    // queued, look for a busy core whose occupant it
+                    // should preempt.
+                    let mut events = st.smp_fill_idle(now, true);
+                    if st.ready.contains(&target) {
+                        if let Some(ev) = st.smp_pick_victim(target, now) {
+                            events.push(ev);
+                        }
+                    }
+                    events
+                }
+            } else if !st.started || st.in_overhead {
                 // The pending scheduler pass will see this arrival.
-                ReadyAction::Nothing
+                Vec::new()
             } else if st.running.is_some() {
                 if st.preemption_check(target, now) {
                     let running = st.running.expect("checked running");
                     st.entry_mut(running).preempt_pending = true;
                     st.stats.preemptions += 1;
-                    ReadyAction::Preempt(st.entry(running).preempt_event)
+                    vec![st.entry(running).preempt_event]
                 } else {
-                    ReadyAction::Nothing
+                    Vec::new()
                 }
             } else {
                 // Idle processor: dispatch directly. The awakened task's
@@ -207,12 +253,11 @@ impl Engine for ProcEngine {
                 let next = st.pick_next(now).expect("ready queue is non-empty");
                 let view = st.rtos_view(now);
                 let load = st.overheads.context_load.eval(&view);
-                ReadyAction::Dispatch(st.grant(next, Some(sched), Some(load)))
+                vec![st.grant(next, Some(sched), Some(load))]
             }
         };
-        match action {
-            ReadyAction::Nothing => {}
-            ReadyAction::Preempt(ev) | ReadyAction::Dispatch(ev) => h.notify(ev),
+        for ev in events {
+            h.notify(ev);
         }
     }
 }

@@ -57,6 +57,14 @@ pub struct ProcessorConfig {
     /// reaction-time error the paper's contribution removes. Kept for
     /// the baseline-comparison experiments.
     pub preemption_granularity: Option<SimDuration>,
+    /// Number of identical cores (default 1). With more than one the
+    /// processor is SMP: the policy elects onto every idle core (global
+    /// scheduling), tasks may restrict themselves to cores via
+    /// [`TaskConfig::affinity`](crate::TaskConfig::affinity) (partitioned
+    /// scheduling when every task is pinned), and dispatching a task on a
+    /// different core than its last one charges the migration overhead.
+    /// Requires the procedure-call engine.
+    pub cores: usize,
 }
 
 impl ProcessorConfig {
@@ -69,6 +77,7 @@ impl ProcessorConfig {
             overheads: Overheads::zero(),
             engine: EngineKind::ProcedureCall,
             preemption_granularity: None,
+            cores: 1,
         }
     }
 
@@ -108,6 +117,19 @@ impl ProcessorConfig {
         self.preemption_granularity = Some(quantum);
         self
     }
+
+    /// Makes the processor SMP with `cores` identical cores (see
+    /// [`cores`](ProcessorConfig::cores)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds 64 (the affinity-mask width).
+    pub fn cores(mut self, cores: usize) -> Self {
+        assert!(cores >= 1, "a processor needs at least one core");
+        assert!(cores <= 64, "affinity masks cover at most 64 cores");
+        self.cores = cores;
+        self
+    }
 }
 
 /// A processor running the generic RTOS model.
@@ -142,6 +164,17 @@ impl Processor {
     /// Creates a processor (spawning its internal dispatcher or RTOS
     /// coroutine) inside `sim`, recording into `recorder`.
     pub fn new(sim: &mut Simulator, recorder: &TraceRecorder, config: ProcessorConfig) -> Self {
+        if config.cores > 1 {
+            assert!(
+                config.engine == EngineKind::ProcedureCall,
+                "SMP (cores > 1) requires the procedure-call engine"
+            );
+            assert!(
+                config.preemption_granularity.is_none(),
+                "SMP (cores > 1) requires time-accurate preemption \
+                 (no preemption granularity)"
+            );
+        }
         let actor = recorder.register(&config.name, ActorKind::Processor);
         let state = Arc::new(Mutex::new(RtosState::new(
             &config.name,
@@ -149,6 +182,7 @@ impl Processor {
             config.overheads,
             config.preemption_granularity,
             config.preemptive,
+            config.cores,
             recorder.clone(),
             actor,
         )));

@@ -68,9 +68,15 @@ enum Frame {
 enum AcqStage {
     /// Check/await the CPU grant.
     Poll,
-    /// The wake-time scheduling overhead wait is in flight; the context
-    /// load (if any) follows.
-    Sched { load: Option<SimDuration> },
+    /// The wake-time scheduling overhead wait is in flight; migration
+    /// (SMP) and context load (if any) follow.
+    Sched {
+        migration: Option<SimDuration>,
+        load: Option<SimDuration>,
+    },
+    /// The wake-time migration overhead wait is in flight (SMP only);
+    /// the context load (if any) follows.
+    Migration { load: Option<SimDuration> },
     /// The wake-time context-load wait is in flight.
     Load,
 }
@@ -112,8 +118,13 @@ fn step_start(engine: &dyn Engine, me: TaskId, ctx: &mut SegmentCtx<'_>) -> Fram
 fn acquire_finish(engine: &dyn Engine, me: TaskId, ctx: &mut SegmentCtx<'_>) -> FrameStep {
     let mut st = engine.shared().lock();
     let now = ctx.now();
+    st.note_core(me, now);
     st.set_task_state(me, now, TaskState::Running);
-    st.entry_mut(me).dispatched_at = now;
+    let entry = st.entry_mut(me);
+    entry.dispatched_at = now;
+    if let Some(core) = entry.core {
+        entry.last_core = Some(core);
+    }
     FrameStep::Pop
 }
 
@@ -137,17 +148,29 @@ fn step_acquire(
             if let Some(ev) = wait_on {
                 return FrameStep::Yield(WaitRequest::event(ev));
             }
-            let (sched, load) = {
+            let (sched, migration, load) = {
                 let mut st = engine.shared().lock();
                 let entry = st.entry_mut(me);
-                (entry.wake_sched.take(), entry.wake_load.take())
+                (
+                    entry.wake_sched.take(),
+                    entry.wake_migration.take(),
+                    entry.wake_load.take(),
+                )
             };
             if let Some(d) = sched {
                 engine
                     .shared()
                     .lock()
                     .record_overhead(me, ctx.now(), OverheadKind::Scheduling, d);
-                *stage = AcqStage::Sched { load };
+                *stage = AcqStage::Sched { migration, load };
+                return FrameStep::Yield(WaitRequest::time(d));
+            }
+            if let Some(d) = migration {
+                engine
+                    .shared()
+                    .lock()
+                    .record_overhead(me, ctx.now(), OverheadKind::Migration, d);
+                *stage = AcqStage::Migration { load };
                 return FrameStep::Yield(WaitRequest::time(d));
             }
             if let Some(d) = load {
@@ -160,7 +183,28 @@ fn step_acquire(
             }
             acquire_finish(engine, me, ctx)
         }
-        AcqStage::Sched { load } => {
+        AcqStage::Sched { migration, load } => {
+            let migration = migration.take();
+            let load = load.take();
+            if let Some(d) = migration {
+                engine
+                    .shared()
+                    .lock()
+                    .record_overhead(me, ctx.now(), OverheadKind::Migration, d);
+                *stage = AcqStage::Migration { load };
+                return FrameStep::Yield(WaitRequest::time(d));
+            }
+            if let Some(d) = load {
+                engine
+                    .shared()
+                    .lock()
+                    .record_overhead(me, ctx.now(), OverheadKind::ContextLoad, d);
+                *stage = AcqStage::Load;
+                return FrameStep::Yield(WaitRequest::time(d));
+            }
+            acquire_finish(engine, me, ctx)
+        }
+        AcqStage::Migration { load } => {
             if let Some(d) = load.take() {
                 engine
                     .shared()
@@ -242,6 +286,13 @@ fn step_execute(
     }
     if remaining.is_zero() {
         return FrameStep::Pop;
+    }
+    if slice == Some(SimDuration::ZERO) {
+        // Quantum already exhausted on entry: rotate synchronously
+        // instead of arming a zero-delay slice timer (see the matching
+        // branch in `engine::execute`).
+        engine.shared().lock().stats.quantum_expirations += 1;
+        return FrameStep::Push(resume_frames(TaskState::Ready, true));
     }
     let bound = match slice {
         Some(s) => s.min(*remaining),

@@ -83,6 +83,11 @@ pub struct TaskConfig {
     /// Relative deadline: when the task becomes Ready its absolute
     /// deadline is set to `now + relative_deadline`. Used by EDF.
     pub relative_deadline: Option<SimDuration>,
+    /// Core-affinity bitmask: bit `c` set means the task may run on core
+    /// `c` of an SMP processor. Defaults to all-ones (any core); ignored
+    /// by single-core processors. Partitioned scheduling pins each task
+    /// to one core with [`TaskConfig::pin_to_core`].
+    pub affinity: u64,
 }
 
 impl TaskConfig {
@@ -94,6 +99,7 @@ impl TaskConfig {
             priority: Priority(0),
             period: None,
             relative_deadline: None,
+            affinity: u64::MAX,
         }
     }
 
@@ -112,6 +118,29 @@ impl TaskConfig {
     /// Sets the relative deadline (builder style).
     pub fn deadline(mut self, relative_deadline: SimDuration) -> Self {
         self.relative_deadline = Some(relative_deadline);
+        self
+    }
+
+    /// Sets the core-affinity bitmask (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is zero (a task must be runnable somewhere).
+    pub fn affinity(mut self, mask: u64) -> Self {
+        assert!(mask != 0, "affinity mask must allow at least one core");
+        self.affinity = mask;
+        self
+    }
+
+    /// Pins the task to a single core (builder style) — the partitioned-
+    /// scheduling form of [`affinity`](TaskConfig::affinity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= 64` (affinity masks cover 64 cores).
+    pub fn pin_to_core(mut self, core: usize) -> Self {
+        assert!(core < 64, "affinity masks cover cores 0..64");
+        self.affinity = 1u64 << core;
         self
     }
 }

@@ -344,6 +344,43 @@ fn round_robin_rotates_on_quantum() {
 }
 
 #[test]
+fn round_robin_rotates_synchronously_at_exact_quantum_expiry() {
+    // Regression: when an execute() call lands exactly on quantum
+    // expiry (now - dispatched_at == quantum), the remaining slice is
+    // zero and the task must rotate to the back of the queue
+    // synchronously — not arm a zero-length slice timer whose firing
+    // costs an extra kernel event before the handover.
+    for engine in ENGINES {
+        let mut sim = Simulator::new();
+        let rec = TraceRecorder::new();
+        let cpu = Processor::new(
+            &mut sim,
+            &rec,
+            ProcessorConfig::new("CPU")
+                .engine(engine)
+                .policy(RoundRobin::new(us(10))),
+        );
+        // A's first execute consumes exactly one quantum; its second
+        // execute starts with the quantum already spent.
+        cpu.spawn_task(&mut sim, TaskConfig::new("A"), |t| {
+            t.execute(us(10));
+            t.execute(us(10));
+        });
+        cpu.spawn_task(&mut sim, TaskConfig::new("B"), |t| t.execute(us(10)));
+        sim.run().unwrap();
+        let trace = rec.snapshot();
+        // A: 0-10 (expired), B: 10-20, A: 20-30.
+        assert_eq!(times_us(&trace, "A", TaskState::Running), vec![0, 20], "{engine}");
+        assert_eq!(times_us(&trace, "B", TaskState::Running), vec![10], "{engine}");
+        assert_eq!(times_us(&trace, "A", TaskState::Ready).last(), Some(&10), "{engine}");
+        assert_eq!(sim.now(), t_us(30), "{engine}");
+        // Only A's mid-job expiry counts: B finishes exactly at its
+        // slice end (completion wins over expiry), as does A's tail.
+        assert_eq!(cpu.stats().quantum_expirations, 1, "{engine}");
+    }
+}
+
+#[test]
 fn fifo_ignores_priorities_and_never_preempts() {
     for engine in ENGINES {
         let mut sim = Simulator::new();
@@ -442,6 +479,7 @@ fn overhead_formula_sees_ready_count() {
             context_save: OverheadSpec::zero(),
             scheduling: OverheadSpec::formula(|v| us(1) * v.ready_tasks as u64),
             context_load: OverheadSpec::zero(),
+            migration: OverheadSpec::zero(),
         };
         let cpu = Processor::new(
             &mut sim,
@@ -571,6 +609,89 @@ fn procedure_call_engine_uses_fewer_kernel_switches() {
         thread_switches > proc_switches,
         "dedicated-thread {thread_switches} should exceed procedure-call {proc_switches}"
     );
+}
+
+#[test]
+fn smp_two_cores_run_two_tasks_in_parallel() {
+    // SMP requires the procedure-call engine; no engine loop here.
+    let mut sim = Simulator::new();
+    let rec = TraceRecorder::new();
+    let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU").cores(2));
+    cpu.spawn_task(&mut sim, TaskConfig::new("A").priority(2), |t| t.execute(us(100)));
+    cpu.spawn_task(&mut sim, TaskConfig::new("B").priority(1), |t| t.execute(us(100)));
+    sim.run().unwrap();
+    // Both tasks start at t=0 on their own core: the makespan is one
+    // task's compute, not two.
+    assert_eq!(sim.now(), t_us(100));
+    let trace = rec.snapshot();
+    assert_eq!(times_us(&trace, "A", TaskState::Running), vec![0]);
+    assert_eq!(times_us(&trace, "B", TaskState::Running), vec![0]);
+    let core_of = |name: &str| {
+        let actor = trace.actor_by_name(name).expect("actor");
+        trace
+            .records_for(actor)
+            .find_map(|r| match r.data {
+                rtsim_trace::TraceData::Core(c) => Some(c),
+                _ => None,
+            })
+            .expect("core record")
+    };
+    assert_eq!(core_of("A"), 0);
+    assert_eq!(core_of("B"), 1);
+}
+
+#[test]
+fn smp_migration_is_charged_on_core_change() {
+    let mut sim = Simulator::new();
+    let rec = TraceRecorder::new();
+    let cpu = Processor::new(
+        &mut sim,
+        &rec,
+        ProcessorConfig::new("CPU")
+            .cores(2)
+            .overheads(Overheads::zero().with_migration(us(7))),
+    );
+    cpu.spawn_task(&mut sim, TaskConfig::new("A").priority(5), |t| {
+        t.execute(us(10));
+        t.delay(us(10));
+        t.execute(us(10));
+    });
+    cpu.spawn_task(
+        &mut sim,
+        TaskConfig::new("B").priority(3).pin_to_core(0),
+        |t| t.execute(us(40)),
+    );
+    sim.run().unwrap();
+    let trace = rec.snapshot();
+    // A takes core 0 at t=0 (B's pin keeps it off core 1, so B waits);
+    // A's delay frees core 0 for B at t=10; when A wakes at t=20 core 0
+    // is held, so A migrates to core 1 and pays 7 us before resuming.
+    assert_eq!(times_us(&trace, "A", TaskState::Running), vec![0, 27]);
+    assert_eq!(times_us(&trace, "B", TaskState::Running), vec![10]);
+    assert_eq!(sim.now(), t_us(50));
+    let a = trace.actor_by_name("A").unwrap();
+    let a_cores: Vec<usize> = trace
+        .records_for(a)
+        .filter_map(|r| match r.data {
+            rtsim_trace::TraceData::Core(c) => Some(c),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(a_cores, vec![0, 1]);
+    let migrations = trace
+        .records()
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.data,
+                rtsim_trace::TraceData::Overhead {
+                    kind: rtsim_trace::OverheadKind::Migration,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(migrations, 1, "exactly one core change in this schedule");
 }
 
 #[test]

@@ -1,4 +1,4 @@
-//! The sharded-grid driver: the farm's 98-cell matrix as a
+//! The sharded-grid driver: the farm's 160-cell matrix as a
 //! campaign-of-campaigns with content-addressed result caching.
 //!
 //! ```text

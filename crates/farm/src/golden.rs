@@ -40,21 +40,28 @@ pub fn goldens_path() -> PathBuf {
 }
 
 /// Renders one cell result as its golden JSONL line (no trailing
-/// newline).
+/// newline). Multi-core cells carry a `"cores"` field right after
+/// `"mode"`; single-core lines omit it, so the entire pre-SMP golden
+/// file remains byte-identical under the current writer.
 pub fn render_line(result: &CellResult) -> String {
     let f = &result.fingerprint;
-    Json::obj([
+    let mut fields = vec![
         ("scenario", Json::from(result.cell.scenario)),
         ("policy", Json::from(result.cell.policy.key())),
         ("mode", Json::from(result.cell.mode())),
+    ];
+    if result.cell.cores > 1 {
+        fields.push(("cores", Json::from(u64::from(result.cell.cores))));
+    }
+    fields.extend([
         ("hash", Json::from(f.hash_hex())),
         ("events", Json::from(f.events)),
         ("makespan_ps", Json::from(f.makespan_ps)),
         ("dispatches", Json::from(f.dispatches)),
         ("preemptions", Json::from(f.preemptions)),
         ("deadline_misses", Json::from(f.deadline_misses)),
-    ])
-    .to_string()
+    ]);
+    Json::obj(fields).to_string()
 }
 
 /// Renders a whole result set as golden-file contents (newline
@@ -68,18 +75,34 @@ pub fn render(results: &[CellResult]) -> String {
     out
 }
 
-/// Parses the `(scenario, policy, mode)` identity of a golden line.
-/// Returns `None` on lines that are not well-formed cell records.
+/// Parses the `(scenario, policy, mode, cores)` identity of a golden
+/// line. Lines without a `"cores"` field are single-core (the pre-SMP
+/// format). Returns `None` on lines that are not well-formed cell
+/// records.
 ///
 /// Field extraction is the grid's flat-record scanning
 /// ([`rtsim_grid::record`]); none of the values the farm writes contain
 /// escapes, so the plain scan suffices.
-pub fn parse_cell_key(line: &str) -> Option<(String, String, String)> {
+pub fn parse_cell_key(line: &str) -> Option<(String, String, String, u8)> {
+    let cores = match u64_field(line, "cores") {
+        Some(c) => u8::try_from(c).ok()?,
+        None => 1,
+    };
     Some((
         string_field(line, "scenario")?,
         string_field(line, "policy")?,
         string_field(line, "mode")?,
+        cores,
     ))
+}
+
+/// Formats a parsed cell key the way [`Cell::label`] would.
+fn key_label(key: &(String, String, String, u8)) -> String {
+    if key.3 > 1 {
+        format!("{}/{}/{}/c{}", key.0, key.1, key.2, key.3)
+    } else {
+        format!("{}/{}/{}", key.0, key.1, key.2)
+    }
 }
 
 /// Parses a full golden line back into the [`CellResult`] that rendered
@@ -87,7 +110,7 @@ pub fn parse_cell_key(line: &str) -> Option<(String, String, String)> {
 /// (`parse_line(render_line(r)) == Some(r)`). Returns `None` on
 /// malformed lines or unknown scenario/policy/mode keys.
 pub fn parse_line(line: &str) -> Option<CellResult> {
-    let (scenario, policy, mode) = parse_cell_key(line)?;
+    let (scenario, policy, mode, cores) = parse_cell_key(line)?;
     let scenario = scenario_by_name(&scenario)?.name;
     let policy = PolicyKind::from_key(&policy)?;
     let preemptive = match mode.as_str() {
@@ -100,6 +123,7 @@ pub fn parse_line(line: &str) -> Option<CellResult> {
             scenario,
             policy,
             preemptive,
+            cores,
         },
         fingerprint: Fingerprint {
             hash: u64::from_str_radix(&string_field(line, "hash")?, 16).ok()?,
@@ -119,6 +143,7 @@ pub fn render_csv(results: &[CellResult]) -> String {
         "scenario",
         "policy",
         "mode",
+        "cores",
         "hash",
         "events",
         "makespan_ps",
@@ -132,6 +157,7 @@ pub fn render_csv(results: &[CellResult]) -> String {
             r.cell.scenario.to_owned(),
             r.cell.policy.key().to_owned(),
             r.cell.mode().to_owned(),
+            r.cell.cores.to_string(),
             f.hash_hex(),
             f.events.to_string(),
             f.makespan_ps.to_string(),
@@ -199,7 +225,7 @@ fn describe_drift(cell: &str, expected: &str, actual: &str) -> String {
 /// check passes `require_complete = false` because it only reruns a
 /// subset of the matrix.
 pub fn diff(goldens: &str, results: &[CellResult], require_complete: bool) -> DiffOutcome {
-    let mut expected: BTreeMap<(String, String, String), &str> = BTreeMap::new();
+    let mut expected: BTreeMap<(String, String, String, u8), &str> = BTreeMap::new();
     let mut messages = Vec::new();
     for line in goldens.lines() {
         if line.trim().is_empty() {
@@ -207,11 +233,9 @@ pub fn diff(goldens: &str, results: &[CellResult], require_complete: bool) -> Di
         }
         match parse_cell_key(line) {
             Some(key) => {
-                if expected.insert(key.clone(), line).is_some() {
-                    messages.push(format!(
-                        "cell {}/{}/{}: duplicated in goldens",
-                        key.0, key.1, key.2
-                    ));
+                let label = key_label(&key);
+                if expected.insert(key, line).is_some() {
+                    messages.push(format!("cell {label}: duplicated in goldens"));
                 }
             }
             None => messages.push(format!("unparseable golden line: {line}")),
@@ -225,6 +249,7 @@ pub fn diff(goldens: &str, results: &[CellResult], require_complete: bool) -> Di
             cell.scenario.to_owned(),
             cell.policy.key().to_owned(),
             cell.mode().to_owned(),
+            cell.cores,
         );
         let actual = render_line(result);
         match expected.remove(&key) {
@@ -237,9 +262,10 @@ pub fn diff(goldens: &str, results: &[CellResult], require_complete: bool) -> Di
         }
     }
     if require_complete {
-        for (scenario, policy, mode) in expected.into_keys() {
+        for key in expected.into_keys() {
             messages.push(format!(
-                "cell {scenario}/{policy}/{mode}: in goldens but not produced by this matrix (stale?)"
+                "cell {}: in goldens but not produced by this matrix (stale?)",
+                key_label(&key)
             ));
         }
     }
@@ -258,6 +284,7 @@ mod tests {
                 scenario: "paper_fig6",
                 policy,
                 preemptive: true,
+                cores: 1,
             },
             fingerprint: Fingerprint {
                 hash,
@@ -278,9 +305,13 @@ mod tests {
             Some((
                 "paper_fig6".to_owned(),
                 "priority".to_owned(),
-                "preemptive".to_owned()
+                "preemptive".to_owned(),
+                1,
             ))
         );
+        // A single-core line never carries a "cores" field: the pre-SMP
+        // golden format is preserved byte-for-byte.
+        assert!(!line.contains("cores"), "{line}");
         assert_eq!(string_field(&line, "hash").unwrap(), "00000000deadbeef");
         assert_eq!(u64_field(&line, "events"), Some(73));
         assert_eq!(u64_field(&line, "makespan_ps"), Some(780_000_000));
@@ -303,11 +334,35 @@ mod tests {
     }
 
     #[test]
+    fn multi_core_lines_round_trip_with_their_core_count() {
+        let result = CellResult {
+            cell: Cell {
+                scenario: "smp_global",
+                policy: PolicyKind::GlobalEdf,
+                preemptive: true,
+                cores: 4,
+            },
+            fingerprint: sample(PolicyKind::Priority, 7).fingerprint,
+        };
+        let line = render_line(&result);
+        assert!(line.contains("\"cores\":4"), "{line}");
+        assert_eq!(
+            parse_cell_key(&line).map(|k| k.3),
+            Some(4),
+            "{line}"
+        );
+        assert_eq!(parse_line(&line), Some(result));
+        // Same cell on a different core count is a different key.
+        let other = diff(&render(&[result]), &[result], true);
+        assert!(other.is_clean(), "{:?}", other.messages);
+    }
+
+    #[test]
     fn render_csv_has_a_row_per_cell() {
         let csv = render_csv(&[sample(PolicyKind::Priority, 1), sample(PolicyKind::Fifo, 2)]);
         assert_eq!(csv.lines().count(), 3); // header + 2 rows
-        assert!(csv.starts_with("scenario,policy,mode,hash"));
-        assert!(csv.contains("paper_fig6,fifo,preemptive,0000000000000002"));
+        assert!(csv.starts_with("scenario,policy,mode,cores,hash"));
+        assert!(csv.contains("paper_fig6,fifo,preemptive,1,0000000000000002"));
     }
 
     #[test]

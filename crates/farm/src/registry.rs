@@ -10,7 +10,8 @@ use rtsim_mcse::SystemModel;
 use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::scenarios::{
     automotive_system, contended_system, figure6_system, figure7_system, mpeg2_system,
-    policy_sweep_system, quickstart_system, AutomotiveConfig, Mpeg2Config,
+    policy_sweep_system, quickstart_system, smp_global_system, smp_partitioned_system,
+    AutomotiveConfig, Mpeg2Config,
 };
 
 /// Every scheduling behaviour the farm sweeps. One entry per built-in
@@ -33,11 +34,15 @@ pub enum PolicyKind {
     /// A closure policy built with [`policies::from_fn`]: lowest enqueue
     /// sequence first, priority preemption.
     FnPolicy,
+    /// [`policies::GlobalEdf`] — EDF across every core of an SMP
+    /// processor (identical to [`PolicyKind::Edf`] on one core).
+    GlobalEdf,
 }
 
 impl PolicyKind {
-    /// All seven behaviours, in golden-file order.
-    pub const ALL: [PolicyKind; 7] = [
+    /// All eight behaviours, in golden-file order. `GlobalEdf` comes
+    /// last so the pre-SMP golden lines keep their relative order.
+    pub const ALL: [PolicyKind; 8] = [
         PolicyKind::Fifo,
         PolicyKind::Priority,
         PolicyKind::Edf,
@@ -45,6 +50,7 @@ impl PolicyKind {
         PolicyKind::RoundRobin,
         PolicyKind::PriorityRr,
         PolicyKind::FnPolicy,
+        PolicyKind::GlobalEdf,
     ];
 
     /// The stable key used in golden files and diffs.
@@ -57,6 +63,7 @@ impl PolicyKind {
             PolicyKind::RoundRobin => "round_robin",
             PolicyKind::PriorityRr => "priority_rr",
             PolicyKind::FnPolicy => "fn_policy",
+            PolicyKind::GlobalEdf => "global_edf",
         }
     }
 
@@ -84,6 +91,7 @@ impl PolicyKind {
                     candidate.priority > running.priority
                 },
             )),
+            PolicyKind::GlobalEdf => Box::new(policies::GlobalEdf::new()),
         }
     }
 }
@@ -98,10 +106,15 @@ impl PolicyKind {
 pub struct Scenario {
     /// Golden-file key.
     pub name: &'static str,
-    /// Builds the un-elaborated model.
-    pub build: fn() -> SystemModel,
+    /// Builds the un-elaborated model for a given core count. Scenarios
+    /// that only make sense on one core ignore the argument (their
+    /// [`Scenario::core_counts`] is `&[1]`).
+    pub build: fn(u8) -> SystemModel,
     /// Hang guard passed to `run_until`.
     pub horizon: SimDuration,
+    /// Core counts this scenario sweeps — the matrix's fourth axis.
+    /// `&[1]` for the classic single-core scenarios.
+    pub core_counts: &'static [u8],
 }
 
 impl std::fmt::Debug for Scenario {
@@ -117,43 +130,62 @@ impl std::fmt::Debug for Scenario {
 pub const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "quickstart",
-        build: quickstart_system,
+        build: |_| quickstart_system(),
         horizon: SimDuration::from_ms(100),
+        core_counts: &[1],
     },
     Scenario {
         name: "paper_fig6",
-        build: || figure6_system(EngineKind::ProcedureCall),
+        build: |_| figure6_system(EngineKind::ProcedureCall),
         horizon: SimDuration::from_ms(100),
+        core_counts: &[1],
     },
     Scenario {
         name: "paper_fig7",
-        build: || figure7_system(EngineKind::ProcedureCall, LockMode::Plain),
+        build: |_| figure7_system(EngineKind::ProcedureCall, LockMode::Plain),
         horizon: SimDuration::from_ms(100),
+        core_counts: &[1],
     },
     Scenario {
         name: "automotive_ecu",
-        build: || automotive_system(&AutomotiveConfig::default()),
+        build: |_| automotive_system(&AutomotiveConfig::default()),
         horizon: SimDuration::from_ms(2_000),
+        core_counts: &[1],
     },
     Scenario {
         name: "mpeg2_soc",
-        build: || {
+        build: |_| {
             mpeg2_system(&Mpeg2Config {
                 frames: 6,
                 ..Mpeg2Config::default()
             })
         },
         horizon: SimDuration::from_ms(2_000),
+        core_counts: &[1],
     },
     Scenario {
         name: "design_space",
-        build: policy_sweep_system,
+        build: |_| policy_sweep_system(),
         horizon: SimDuration::from_ms(2_000),
+        core_counts: &[1],
     },
     Scenario {
         name: "custom_policy",
-        build: contended_system,
+        build: |_| contended_system(),
         horizon: SimDuration::from_ms(500),
+        core_counts: &[1],
+    },
+    Scenario {
+        name: "smp_partitioned",
+        build: smp_partitioned_system,
+        horizon: SimDuration::from_ms(200),
+        core_counts: &[2],
+    },
+    Scenario {
+        name: "smp_global",
+        build: smp_global_system,
+        horizon: SimDuration::from_ms(100),
+        core_counts: &[2, 4],
     },
 ];
 
@@ -162,7 +194,8 @@ pub fn scenario_by_name(name: &str) -> Option<&'static Scenario> {
     SCENARIOS.iter().find(|s| s.name == name)
 }
 
-/// One point of the sweep: a scenario under one scheduling behaviour.
+/// One point of the sweep: a scenario under one scheduling behaviour on
+/// one core count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cell {
     /// Scenario key (see [`SCENARIOS`]).
@@ -171,6 +204,10 @@ pub struct Cell {
     pub policy: PolicyKind,
     /// Preemptive (`true`) or run-to-relinquish mode.
     pub preemptive: bool,
+    /// Cores per software processor — the SMP axis. `1` for the classic
+    /// matrix; multi-core cells carry the count into their label and
+    /// golden line.
+    pub cores: u8,
 }
 
 impl Cell {
@@ -184,8 +221,21 @@ impl Cell {
     }
 
     /// Human-readable cell label, e.g. `paper_fig6/edf/preemptive`.
+    /// Multi-core cells append the core count: `smp_global/edf/preemptive/c2`
+    /// (single-core labels are unchanged from the pre-SMP format, which
+    /// keeps their grid cache keys stable).
     pub fn label(&self) -> String {
-        format!("{}/{}/{}", self.scenario, self.policy.key(), self.mode())
+        if self.cores > 1 {
+            format!(
+                "{}/{}/{}/c{}",
+                self.scenario,
+                self.policy.key(),
+                self.mode(),
+                self.cores
+            )
+        } else {
+            format!("{}/{}/{}", self.scenario, self.policy.key(), self.mode())
+        }
     }
 }
 
@@ -210,17 +260,21 @@ impl rtsim_grid::Record for CellResult {
     }
 }
 
-/// The full matrix: every scenario × every policy × both modes.
+/// The full matrix: every scenario × its core counts × every policy ×
+/// both modes.
 pub fn full_matrix() -> Vec<Cell> {
     let mut cells = Vec::new();
     for scenario in SCENARIOS {
-        for policy in PolicyKind::ALL {
-            for preemptive in [true, false] {
-                cells.push(Cell {
-                    scenario: scenario.name,
-                    policy,
-                    preemptive,
-                });
+        for &cores in scenario.core_counts {
+            for policy in PolicyKind::ALL {
+                for preemptive in [true, false] {
+                    cells.push(Cell {
+                        scenario: scenario.name,
+                        policy,
+                        preemptive,
+                        cores,
+                    });
+                }
             }
         }
     }
@@ -228,9 +282,9 @@ pub fn full_matrix() -> Vec<Cell> {
 }
 
 /// The reduced matrix used under `RTSIM_BENCH_SMOKE=1`: the three
-/// fastest scenarios × three representative policies × both modes
-/// (18 cells), so test suites can exercise the whole pipeline in
-/// seconds.
+/// fastest scenarios × three representative policies × both modes,
+/// plus one dual-core cell per SMP scenario (20 cells), so test suites
+/// can exercise the whole pipeline in seconds.
 pub fn smoke_matrix() -> Vec<Cell> {
     let scenarios = ["quickstart", "paper_fig6", "design_space"];
     let policies = [PolicyKind::Priority, PolicyKind::Fifo, PolicyKind::Edf];
@@ -242,9 +296,23 @@ pub fn smoke_matrix() -> Vec<Cell> {
                     scenario,
                     policy,
                     preemptive,
+                    cores: 1,
                 });
             }
         }
+    }
+    // Two dual-core probes so the smoke sweep crosses the SMP dispatch
+    // path: partitioned and global scheduling, one cell each.
+    for (scenario, policy) in [
+        ("smp_partitioned", PolicyKind::RateMonotonic),
+        ("smp_global", PolicyKind::GlobalEdf),
+    ] {
+        cells.push(Cell {
+            scenario,
+            policy,
+            preemptive: true,
+            cores: 2,
+        });
     }
     cells
 }
@@ -277,7 +345,13 @@ pub fn run_cell_with_mode(cell: Cell, mode: ExecMode) -> CellResult {
 fn run_cell_inner(cell: Cell, mode: Option<ExecMode>) -> CellResult {
     let scenario = scenario_by_name(cell.scenario)
         .unwrap_or_else(|| panic!("unknown scenario `{}`", cell.scenario));
-    let mut model = (scenario.build)();
+    assert!(
+        scenario.core_counts.contains(&cell.cores),
+        "scenario `{}` does not register a {}-core configuration",
+        cell.scenario,
+        cell.cores
+    );
+    let mut model = (scenario.build)(cell.cores);
     model.override_schedulers(cell.preemptive, |_| cell.policy.make());
     if let Some(mode) = mode {
         model.exec_mode(mode);
@@ -373,8 +447,10 @@ mod tests {
 
     #[test]
     fn matrix_shapes() {
-        assert_eq!(full_matrix().len(), SCENARIOS.len() * 7 * 2);
-        assert_eq!(smoke_matrix().len(), 18);
+        let combos: usize = SCENARIOS.iter().map(|s| s.core_counts.len()).sum();
+        assert_eq!(full_matrix().len(), combos * PolicyKind::ALL.len() * 2);
+        assert_eq!(full_matrix().len(), 160);
+        assert_eq!(smoke_matrix().len(), 20);
         // The smoke matrix is a subset of the full one.
         let full = full_matrix();
         for cell in smoke_matrix() {
@@ -396,6 +472,7 @@ mod tests {
             scenario: "paper_fig6",
             policy: PolicyKind::Priority,
             preemptive: true,
+            cores: 1,
         };
         let priority = run_cell(base);
         let fifo = run_cell(Cell {
@@ -415,16 +492,19 @@ mod tests {
                 scenario: "quickstart",
                 policy: PolicyKind::Priority,
                 preemptive: true,
+                cores: 1,
             },
             Cell {
                 scenario: "paper_fig6",
                 policy: PolicyKind::Edf,
                 preemptive: false,
+                cores: 1,
             },
             Cell {
                 scenario: "design_space",
                 policy: PolicyKind::RoundRobin,
                 preemptive: true,
+                cores: 1,
             },
         ];
         let serial = run_matrix(&cells, 1);

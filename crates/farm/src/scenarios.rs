@@ -18,7 +18,11 @@
 //!   task policy-comparison workload;
 //! - [`contended_system`] — the `custom_policy` example's contended
 //!   reference workload;
-//! - [`automotive_system`] — the two-ECU engine-control extension.
+//! - [`automotive_system`] — the two-ECU engine-control extension;
+//! - [`smp_partitioned_system`] — four periodic tasks first-fit-packed
+//!   and pinned onto an N-core processor (partitioned rate-monotonic);
+//! - [`smp_global_system`] — phase-shifted floating tasks on an N-core
+//!   processor with a non-zero migration overhead (global scheduling).
 //!
 //! Every builder returns an un-elaborated [`SystemModel`], so callers can
 //! still add constraints or re-point the schedulers (see
@@ -683,6 +687,95 @@ pub fn automotive_system(config: &AutomotiveConfig) -> SystemModel {
     model
 }
 
+/// Builds the partitioned-SMP regression scenario: four periodic tasks
+/// statically placed on `cores` cores by the first-fit utilization
+/// packing of [`rtsim_core::partition_first_fit`], with rate-monotonic
+/// priorities ([`rtsim_core::assign_rate_monotonic`]) and every task
+/// pinned to its partition via [`TaskConfig::pin_to_core`] — the classic
+/// partitioned-RM configuration. Total utilization is 1.4, so the set
+/// needs at least two cores; with the default registry sweep the farm
+/// runs it at `cores = 2` (partitions `{t0, t1}` and `{t2, t3}`).
+///
+/// Because the pinning lives in the task configs it survives
+/// [`SystemModel::override_schedulers`]: under every policy of the
+/// matrix each core still only ever elects from its own partition.
+pub fn smp_partitioned_system(cores: u8) -> SystemModel {
+    use rtsim_core::{assign_rate_monotonic, partition_first_fit, PeriodicTask, Priority};
+
+    // t1's 900 µs jobs straddle t0's 1 ms releases, so core 0 is
+    // contended and the cell's policy/mode choice shows in the schedule
+    // (RM preempts t1 at each t0 release; FIFO lets it run out).
+    let tasks = assign_rate_monotonic(vec![
+        PeriodicTask::new("t0", us(300), us(1_000), Priority(0)),
+        PeriodicTask::new("t1", us(900), us(2_000), Priority(0)),
+        PeriodicTask::new("t2", us(700), us(2_000), Priority(0)),
+        PeriodicTask::new("t3", us(1_200), us(4_000), Priority(0)),
+    ]);
+    let bins = partition_first_fit(&tasks, cores as usize)
+        .unwrap_or_else(|| panic!("task set does not first-fit onto {cores} cores"));
+
+    let mut model = SystemModel::new("smp_partitioned");
+    model.software_processor_with(
+        "CPU",
+        Box::new(PriorityPreemptive::new()),
+        Overheads::uniform(us(5)),
+        true,
+        EngineKind::ProcedureCall,
+    );
+    model.processor_cores("CPU", cores as usize);
+    for (core, bin) in bins.iter().enumerate() {
+        for &i in bin {
+            let t = &tasks[i];
+            let cfg = TaskConfig::new(&t.name)
+                .priority(t.priority.0)
+                .deadline(t.deadline)
+                .pin_to_core(core);
+            model.periodic_function(cfg, t.period, t.wcet, 8);
+            model.map_to_processor(&t.name, "CPU");
+        }
+    }
+    model
+}
+
+/// Builds the global-SMP regression scenario: five phase-shifted
+/// compute/sleep tasks sharing one `cores`-core processor under a single
+/// ready queue, with a non-zero migration overhead (12 µs on top of the
+/// uniform 5 µs save/schedule/load) so core hops are visible in the
+/// canonical trace as `O migration` segments. Four tasks float across
+/// all cores; `pinned` is restricted to core 0, so affinity filtering is
+/// exercised inside global election too.
+pub fn smp_global_system(cores: u8) -> SystemModel {
+    let mut model = SystemModel::new("smp_global");
+    model.software_processor_with(
+        "CPU",
+        Box::new(PriorityPreemptive::new()),
+        Overheads::uniform(us(5)).with_migration(us(12)),
+        true,
+        EngineKind::ProcedureCall,
+    );
+    model.processor_cores("CPU", cores as usize);
+    for i in 0..4u64 {
+        let name = format!("float{i}");
+        let cfg = TaskConfig::new(&name)
+            .priority(4 - i as u32)
+            .deadline(us(2_000));
+        model.function_script(
+            cfg,
+            vec![
+                s::delay(us(50 * i)),
+                s::repeat(6, vec![s::exec(us(150)), s::delay(us(100))]),
+            ],
+        );
+        model.map_to_processor(&name, "CPU");
+    }
+    model.function_script(
+        TaskConfig::new("pinned").priority(5).pin_to_core(0),
+        vec![s::repeat(4, vec![s::exec(us(80)), s::delay(us(300))])],
+    );
+    model.map_to_processor("pinned", "CPU");
+    model
+}
+
 /// Per-pulse crank-to-injection-complete latencies from an automotive
 /// run's trace.
 pub fn injection_latencies(trace: &rtsim_trace::Trace) -> Vec<SimDuration> {
@@ -838,6 +931,67 @@ mod tests {
         system.run().unwrap();
         let report = system.verify_constraints();
         assert!(report.all_satisfied(), "{report}");
+    }
+
+    #[test]
+    fn smp_partitioned_keeps_tasks_on_their_cores() {
+        let mut system = smp_partitioned_system(2).elaborate().unwrap();
+        system.run().unwrap();
+        let trace = system.trace();
+        // First-fit places {t0, t1} on core 0 and {t2, t3} on core 1;
+        // pinning must hold for every dispatch of the run.
+        for (name, core) in [("t0", 0), ("t1", 0), ("t2", 1), ("t3", 1)] {
+            let actor = trace.actor_by_name(name).unwrap();
+            let cores: Vec<usize> = trace
+                .records_for(actor)
+                .filter_map(|r| match r.data {
+                    rtsim_trace::TraceData::Core(c) => Some(c),
+                    _ => None,
+                })
+                .collect();
+            assert!(!cores.is_empty(), "{name} never dispatched");
+            assert!(
+                cores.iter().all(|&c| c == core),
+                "{name} escaped core {core}: {cores:?}"
+            );
+        }
+        // A partitioned system never migrates: no migration overhead
+        // may be charged anywhere in the trace.
+        assert!(!trace.records().iter().any(|r| matches!(
+            r.data,
+            rtsim_trace::TraceData::Overhead {
+                kind: rtsim_trace::OverheadKind::Migration,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn smp_global_migrates_and_charges_for_it() {
+        let mut system = smp_global_system(2).elaborate().unwrap();
+        system.run().unwrap();
+        let trace = system.trace();
+        let migrations = trace
+            .records()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.data,
+                    rtsim_trace::TraceData::Overhead {
+                        kind: rtsim_trace::OverheadKind::Migration,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(migrations > 0, "global scheduling never migrated a task");
+        // The pinned task must honour its affinity even under global
+        // dispatch.
+        let pinned = trace.actor_by_name("pinned").unwrap();
+        assert!(trace.records_for(pinned).all(|r| match r.data {
+            rtsim_trace::TraceData::Core(c) => c == 0,
+            _ => true,
+        }));
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub enum SpecError {
     UnknownPolicy(String),
     /// The mode is neither `preemptive` nor `cooperative`.
     UnknownMode(String),
+    /// The scenario exists but does not register this core count.
+    UnknownCoreCount(String, u8),
     /// The raw cell index is outside the full matrix.
     CellOutOfRange(usize),
 }
@@ -35,6 +37,9 @@ impl std::fmt::Display for SpecError {
             SpecError::UnknownPolicy(p) => write!(f, "unknown policy {p:?}"),
             SpecError::UnknownMode(m) => {
                 write!(f, "unknown mode {m:?} (expected preemptive|cooperative)")
+            }
+            SpecError::UnknownCoreCount(s, c) => {
+                write!(f, "scenario {s:?} has no {c}-core configuration")
             }
             SpecError::CellOutOfRange(i) => {
                 write!(f, "cell index {i} is outside the {}-cell matrix", full_matrix().len())
@@ -66,17 +71,22 @@ impl ResolvedJob {
     }
 }
 
-/// Resolves a named spec (`scenario`, `policy`, `mode` — golden-file
-/// keys) against the registry.
+/// Resolves a named spec (`scenario`, `policy`, `mode`, `cores` —
+/// golden-file keys; `cores` is `1` for the classic single-core cells)
+/// against the registry.
 ///
 /// # Errors
 ///
 /// Returns the first [`SpecError`] encountered, checking scenario, then
-/// policy, then mode.
-pub fn resolve(scenario: &str, policy: &str, mode: &str) -> Result<ResolvedJob, SpecError> {
-    let scenario = scenario_by_name(scenario)
-        .ok_or_else(|| SpecError::UnknownScenario(scenario.to_owned()))?
-        .name;
+/// policy, then mode, then core count.
+pub fn resolve(
+    scenario: &str,
+    policy: &str,
+    mode: &str,
+    cores: u8,
+) -> Result<ResolvedJob, SpecError> {
+    let entry = scenario_by_name(scenario)
+        .ok_or_else(|| SpecError::UnknownScenario(scenario.to_owned()))?;
     let policy = PolicyKind::from_key(policy)
         .ok_or_else(|| SpecError::UnknownPolicy(policy.to_owned()))?;
     let preemptive = match mode {
@@ -84,10 +94,14 @@ pub fn resolve(scenario: &str, policy: &str, mode: &str) -> Result<ResolvedJob, 
         "cooperative" => false,
         other => return Err(SpecError::UnknownMode(other.to_owned())),
     };
+    if !entry.core_counts.contains(&cores) {
+        return Err(SpecError::UnknownCoreCount(entry.name.to_owned(), cores));
+    }
     let cell = Cell {
-        scenario,
+        scenario: entry.name,
         policy,
         preemptive,
+        cores,
     };
     let index = full_matrix()
         .iter()
@@ -114,10 +128,11 @@ mod tests {
 
     #[test]
     fn named_specs_resolve_to_full_matrix_positions() {
-        let job = resolve("paper_fig6", "edf", "preemptive").unwrap();
+        let job = resolve("paper_fig6", "edf", "preemptive", 1).unwrap();
         assert_eq!(job.cell.scenario, "paper_fig6");
         assert_eq!(job.cell.policy, PolicyKind::Edf);
         assert!(job.cell.preemptive);
+        assert_eq!(job.cell.cores, 1);
         assert_eq!(full_matrix()[job.index], job.cell);
         // The raw-index form round-trips to the same job.
         assert_eq!(resolve_index(job.index).unwrap(), job);
@@ -126,15 +141,31 @@ mod tests {
     #[test]
     fn every_matrix_cell_resolves_back_to_its_own_index() {
         for (index, cell) in full_matrix().into_iter().enumerate() {
-            let job = resolve(cell.scenario, cell.policy.key(), cell.mode()).unwrap();
+            let job =
+                resolve(cell.scenario, cell.policy.key(), cell.mode(), cell.cores).unwrap();
             assert_eq!(job.index, index, "{}", cell.label());
             assert_eq!(job.cell, cell);
         }
     }
 
     #[test]
+    fn multi_core_specs_resolve_and_bad_core_counts_are_named() {
+        let job = resolve("smp_global", "global_edf", "preemptive", 4).unwrap();
+        assert_eq!(job.cell.cores, 4);
+        assert_eq!(full_matrix()[job.index], job.cell);
+        let err = resolve("smp_global", "global_edf", "preemptive", 3).unwrap_err();
+        assert_eq!(err, SpecError::UnknownCoreCount("smp_global".into(), 3));
+        assert!(err.to_string().contains("3-core"), "{err}");
+        // Single-core scenarios reject multi-core requests the same way.
+        assert_eq!(
+            resolve("quickstart", "fifo", "preemptive", 2),
+            Err(SpecError::UnknownCoreCount("quickstart".into(), 2))
+        );
+    }
+
+    #[test]
     fn cache_key_matches_the_grid_formula() {
-        let job = resolve("quickstart", "fifo", "cooperative").unwrap();
+        let job = resolve("quickstart", "fifo", "cooperative", 1).unwrap();
         assert_eq!(
             job.cache_key(),
             rtsim_grid::job_key(FARM_SEED, job.index as u64, &job.cell.label()),
@@ -144,19 +175,21 @@ mod tests {
     #[test]
     fn bad_specs_name_the_offending_field() {
         assert_eq!(
-            resolve("nope", "edf", "preemptive"),
+            resolve("nope", "edf", "preemptive", 1),
             Err(SpecError::UnknownScenario("nope".into()))
         );
         assert_eq!(
-            resolve("paper_fig6", "lifo", "preemptive"),
+            resolve("paper_fig6", "lifo", "preemptive", 1),
             Err(SpecError::UnknownPolicy("lifo".into()))
         );
         assert_eq!(
-            resolve("paper_fig6", "edf", "sometimes"),
+            resolve("paper_fig6", "edf", "sometimes", 1),
             Err(SpecError::UnknownMode("sometimes".into()))
         );
         let out = resolve_index(10_000).unwrap_err();
         assert_eq!(out, SpecError::CellOutOfRange(10_000));
-        assert!(out.to_string().contains("98-cell"));
+        assert!(out
+            .to_string()
+            .contains(&format!("{}-cell", full_matrix().len())));
     }
 }

@@ -34,14 +34,15 @@ fn every_farm_cell_fingerprints_identically_in_both_modes() {
         );
         checked += 1;
     }
-    assert_eq!(checked, SCENARIOS.len() * 7 * 2);
+    let combos: usize = SCENARIOS.iter().map(|s| s.core_counts.len()).sum();
+    assert_eq!(checked, combos * PolicyKind::ALL.len() * 2);
 }
 
 #[test]
 fn traces_and_kernel_counters_match_per_scenario() {
     for scenario in SCENARIOS {
         let run = |mode: ExecMode| {
-            let mut model = (scenario.build)();
+            let mut model = (scenario.build)(scenario.core_counts[0]);
             model.exec_mode(mode);
             let mut system = model.elaborate().expect("scenario elaborates");
             system
@@ -70,6 +71,7 @@ fn segment_mode_reproduces_pinned_figure6_facts() {
         scenario: "paper_fig6",
         policy: PolicyKind::Priority,
         preemptive: true,
+        cores: 1,
     };
     let result = run_cell_with_mode(cell, ExecMode::Segment);
     assert_eq!(result.fingerprint.makespan_ps, 775_000_000);

@@ -47,6 +47,7 @@ fn committed_goldens_cover_the_full_matrix() {
             cell.scenario.to_owned(),
             cell.policy.key().to_owned(),
             cell.mode().to_owned(),
+            cell.cores,
         );
         assert!(keys.contains(&key), "goldens lack {}", cell.label());
     }
@@ -97,6 +98,7 @@ fn policy_choice_is_visible_in_every_scenario_fingerprint() {
             scenario: scenario.name,
             policy,
             preemptive: true,
+            cores: scenario.core_counts[0],
         };
         let results = run_matrix(&[make(PolicyKind::Fifo), make(PolicyKind::Priority)], 2);
         assert_ne!(

@@ -28,7 +28,7 @@ fn check_passes_against_committed_goldens() {
         "--check failed:\n{stdout}\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
-    assert!(stdout.contains("18 cells match"), "{stdout}");
+    assert!(stdout.contains("20 cells match"), "{stdout}");
     assert!(stdout.contains("smoke subset"), "{stdout}");
 }
 
@@ -57,11 +57,11 @@ fn check_emits_campaign_artifacts() {
         .unwrap();
     assert!(output.status.success());
     let jsonl = std::fs::read_to_string(dir.join("farm.jsonl")).unwrap();
-    assert_eq!(jsonl.lines().count(), 18, "one JSONL record per smoke cell");
+    assert_eq!(jsonl.lines().count(), 20, "one JSONL record per smoke cell");
     assert!(jsonl.contains("\"scenario\":\"paper_fig6\""));
     let csv = std::fs::read_to_string(dir.join("farm.csv")).unwrap();
-    assert_eq!(csv.lines().count(), 19, "header + one CSV row per cell");
-    assert!(csv.starts_with("scenario,policy,mode,hash"));
+    assert_eq!(csv.lines().count(), 21, "header + one CSV row per cell");
+    assert!(csv.starts_with("scenario,policy,mode,cores,hash"));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -127,6 +127,9 @@ fn list_names_every_scenario_and_policy() {
     let stdout = String::from_utf8_lossy(&output.stdout);
     for name in [
         "quickstart",
+        "smp_partitioned",
+        "smp_global",
+        "global_edf",
         "paper_fig6",
         "paper_fig7",
         "automotive_ecu",

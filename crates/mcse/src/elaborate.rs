@@ -179,6 +179,7 @@ impl ElaboratedSystem {
                 overheads: decl.overheads,
                 engine: decl.engine,
                 preemption_granularity: None,
+                cores: decl.cores,
             };
             processors.insert(pname.clone(), Processor::new(&mut sim, &recorder, config));
         }

@@ -97,6 +97,7 @@ pub(crate) struct ProcessorDecl {
     pub overheads: Overheads,
     pub preemptive: bool,
     pub engine: EngineKind,
+    pub cores: usize,
 }
 
 /// A declarative capture of an MCSE system: functions, relations,
@@ -280,8 +281,31 @@ impl SystemModel {
                 overheads,
                 preemptive,
                 engine,
+                cores: 1,
             },
         );
+        self
+    }
+
+    /// Makes an already-declared software processor SMP with `cores`
+    /// identical cores (see
+    /// [`ProcessorConfig::cores`](rtsim_core::ProcessorConfig::cores)).
+    /// Functions mapped to it may restrict their placement with
+    /// [`TaskConfig::affinity`](rtsim_core::TaskConfig::affinity) or
+    /// [`TaskConfig::pin_to_core`](rtsim_core::TaskConfig::pin_to_core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processor is unknown, `cores` is zero, or `cores`
+    /// exceeds 64.
+    pub fn processor_cores(&mut self, name: &str, cores: usize) -> &mut Self {
+        assert!(cores >= 1, "a processor needs at least one core");
+        assert!(cores <= 64, "affinity masks cover at most 64 cores");
+        let decl = self
+            .processors
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown processor `{name}`"));
+        decl.cores = cores;
         self
     }
 

@@ -50,7 +50,10 @@ use rtsim_farm::{golden, Cell};
 use rtsim_grid::CacheStore;
 use rtsim_kernel::sync::{unbounded, Mutex, Receiver, RecvTimeoutError, Sender};
 
-/// Environment variable selecting the listen port (`0` = ephemeral).
+/// Environment variable selecting the listen port. `0` asks the OS for
+/// an ephemeral port; the binary prints the real bound address in its
+/// `rtsim-serve listening on ...` banner so callers can discover it,
+/// and [`ServeHandle::addr`] reports it in-process.
 pub const PORT_ENV: &str = "RTSIM_SERVE_PORT";
 /// Environment variable sizing the simulation worker pool.
 pub const WORKERS_ENV: &str = "RTSIM_SERVE_WORKERS";
@@ -390,7 +393,16 @@ fn enqueue(shared: &Shared, body: &[u8]) -> (u16, String) {
                 error_body("body must carry scenario/policy/mode strings or a cell index"),
             );
         };
-        spec::resolve(scenario, policy, mode)
+        // Optional SMP axis: "cores" defaults to the classic single-core
+        // cells, so pre-SMP clients keep working unchanged.
+        let cores = match json.get("cores") {
+            None => 1,
+            Some(c) => match c.as_u64().and_then(|c| u8::try_from(c).ok()) {
+                Some(c) => c,
+                None => return (400, error_body("\"cores\" must be an integer in 1..=64")),
+            },
+        };
+        spec::resolve(scenario, policy, mode, cores)
     };
     let job = match resolved {
         Ok(job) => job,
@@ -563,12 +575,15 @@ fn metrics_body(shared: &Shared) -> String {
     let m = &shared.metrics;
     let mut samples = m.service_ns.lock().clone();
     samples.sort_unstable();
+    // With zero completed jobs there is no service distribution to take
+    // percentiles of; report explicit nulls rather than a fake 0 ns that
+    // dashboards would read as "instant".
     let (p50, p99) = if samples.is_empty() {
-        (0, 0)
+        (Json::Null, Json::Null)
     } else {
         (
-            samples[nearest_rank_index(1, 2, samples.len())],
-            samples[nearest_rank_index(99, 100, samples.len())],
+            Json::from(samples[nearest_rank_index(1, 2, samples.len())]),
+            Json::from(samples[nearest_rank_index(99, 100, samples.len())]),
         )
     };
     Json::obj([
@@ -580,8 +595,8 @@ fn metrics_body(shared: &Shared) -> String {
         ("cache_misses", Json::from(m.cache_misses.load(Ordering::Relaxed))),
         ("queue_depth", Json::from(m.queue_depth.load(Ordering::Relaxed))),
         ("service_samples", Json::from(samples.len())),
-        ("service_p50_ns", Json::from(p50)),
-        ("service_p99_ns", Json::from(p99)),
+        ("service_p50_ns", p50),
+        ("service_p99_ns", p99),
     ])
     .to_string()
 }

@@ -76,7 +76,7 @@ fn enqueue_poll_result_and_cache_hit_lifecycle() {
     let done = await_job(addr, id);
     assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
     let expected = {
-        let job = spec::resolve("quickstart", "fifo", "preemptive").unwrap();
+        let job = spec::resolve("quickstart", "fifo", "preemptive", 1).unwrap();
         assert_eq!(key, format!("{:016x}", job.cache_key()));
         golden::render_line(&run_cell(job.cell))
     };
@@ -95,7 +95,7 @@ fn enqueue_poll_result_and_cache_hit_lifecycle() {
     // The persistent cache now holds the entry under the same key the
     // grid formula computes — so a grid sweep would hit it too.
     let store = CacheStore::new(&dir);
-    let job = spec::resolve("quickstart", "fifo", "preemptive").unwrap();
+    let job = spec::resolve("quickstart", "fifo", "preemptive", 1).unwrap();
     assert_eq!(store.load(job.cache_key()), Some(expected));
 
     // Metrics reflect the story: one miss, one hit, nothing failed.
@@ -121,7 +121,7 @@ fn a_cache_warmed_by_a_one_shot_sweep_is_served_without_simulating() {
 
     // Warm the cache the way rtsim-farm / rtsim-grid would: store the
     // rendered golden line under the grid-formula key, out of band.
-    let job = spec::resolve("paper_fig6", "edf", "cooperative").unwrap();
+    let job = spec::resolve("paper_fig6", "edf", "cooperative", 1).unwrap();
     let line = golden::render_line(&run_cell(job.cell));
     CacheStore::new(&dir).store(job.cache_key(), &line).unwrap();
 
@@ -149,6 +149,63 @@ fn a_cache_warmed_by_a_one_shot_sweep_is_served_without_simulating() {
     handle.shutdown();
     handle.wait();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_before_any_job_report_null_percentiles() {
+    // With zero completed jobs there is no service-time distribution:
+    // p50/p99 must be explicit JSON nulls, not a misleading 0 ns.
+    let (handle, dir) = serve("idle-metrics");
+    let reply = client::get(handle.addr(), "/v1/metrics").unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains(r#""service_p50_ns":null"#), "{}", reply.body);
+    let metrics = parse(&reply.body);
+    assert_eq!(metrics.get("service_samples").and_then(Json::as_u64), Some(0));
+    assert_eq!(metrics.get("service_p50_ns"), Some(&Json::Null));
+    assert_eq!(metrics.get("service_p99_ns"), Some(&Json::Null));
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn port_zero_binary_banner_names_the_real_ephemeral_port() {
+    // The documented script workflow: launch the binary with
+    // RTSIM_SERVE_PORT=0, read the bound address off the banner line,
+    // and talk to that port. Exercises the real executable end to end.
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rtsim-serve"))
+        .env("RTSIM_SERVE_PORT", "0")
+        .env("RTSIM_SERVE_WORKERS", "1")
+        .env("RTSIM_SERVE_HANDLERS", "1")
+        .env_remove("RTSIM_GRID_CACHE")
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn rtsim-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let banner = std::io::BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("banner line")
+        .expect("readable banner");
+    let addr: std::net::SocketAddr = banner
+        .strip_prefix("rtsim-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .expect("banner ends in a socket address");
+    assert_ne!(addr.port(), 0, "banner must name the real port, not 0");
+
+    // The advertised port answers; no jobs yet, so percentiles are null.
+    let metrics = client::get(addr, "/v1/metrics").unwrap();
+    assert_eq!(metrics.status, 200, "{}", metrics.body);
+    assert_eq!(parse(&metrics.body).get("service_p50_ns"), Some(&Json::Null));
+
+    let stop = client::post(addr, "/v1/shutdown", "").unwrap();
+    assert_eq!(stop.status, 200, "{}", stop.body);
+    let status = child.wait().expect("child exits after /v1/shutdown");
+    assert!(status.success(), "{status:?}");
 }
 
 /// Writes raw bytes to the socket (closing our write half so truncated

@@ -17,6 +17,7 @@
 //! <at_ps> <seq> <actor-index> Q <depth>/<capacity>
 //! <at_ps> <seq> <actor-index> R acquired|released
 //! <at_ps> <seq> <actor-index> A <escaped-label>
+//! <at_ps> <seq> <actor-index> K <core>
 //! ```
 //!
 //! Times are picoseconds since time zero; names and annotation labels
@@ -100,6 +101,9 @@ fn canonical_record_into(out: &mut String, r: &Record) {
         TraceData::Annotation(label) => {
             out.push_str("A ");
             escape_into(out, label);
+        }
+        TraceData::Core(core) => {
+            let _ = write!(out, "K {core}");
         }
     }
 }

@@ -50,6 +50,7 @@ pub fn write_csv<W: Write>(trace: &Trace, mut out: W) -> io::Result<()> {
             }
             TraceData::ResourceHeld(held) => ("resource", held.to_string(), String::new()),
             TraceData::Annotation(label) => ("annotation", escape(label), String::new()),
+            TraceData::Core(core) => ("core", core.to_string(), String::new()),
         };
         writeln!(
             out,

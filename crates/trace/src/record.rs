@@ -101,7 +101,8 @@ impl fmt::Display for TaskState {
     }
 }
 
-/// The three components of RTOS overhead the paper models (§3.2).
+/// The components of RTOS overhead the paper models (§3.2), extended
+/// with the migration cost of the SMP processor model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OverheadKind {
     /// Copying the suspended task's context out of the processor registers.
@@ -110,6 +111,9 @@ pub enum OverheadKind {
     Scheduling,
     /// Loading the elected task's context into the processor registers.
     ContextLoad,
+    /// Moving a task's context to a different core than the one it last
+    /// ran on (SMP processors only; never recorded on single-core runs).
+    Migration,
 }
 
 impl fmt::Display for OverheadKind {
@@ -118,6 +122,7 @@ impl fmt::Display for OverheadKind {
             OverheadKind::ContextSave => "context-save",
             OverheadKind::Scheduling => "scheduling",
             OverheadKind::ContextLoad => "context-load",
+            OverheadKind::Migration => "migration",
         };
         f.write_str(s)
     }
@@ -189,6 +194,10 @@ pub enum TraceData {
     ResourceHeld(bool),
     /// Free-form user annotation, the anchor for TimeLine measurements.
     Annotation(String),
+    /// The actor (a task) was dispatched on processor core `core`.
+    /// Recorded by SMP processors only — single-core traces never carry
+    /// it, keeping their canonical form unchanged.
+    Core(usize),
 }
 
 /// One timestamped trace record.

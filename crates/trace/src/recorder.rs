@@ -131,6 +131,12 @@ impl TraceRecorder {
         self.push(at, actor, TraceData::Annotation(label.to_owned()));
     }
 
+    /// Records the core `actor` was dispatched on (SMP processors; never
+    /// recorded by single-core processors).
+    pub fn core(&self, actor: ActorId, at: SimTime, core: usize) {
+        self.push(at, actor, TraceData::Core(core));
+    }
+
     /// Takes an immutable snapshot of everything recorded so far.
     pub fn snapshot(&self) -> Trace {
         let inner = self.inner.lock();

@@ -7,12 +7,12 @@
 //! non-preemptive mode never preempting.
 
 use rtsim::policies::{
-    EarliestDeadlineFirst, Fifo, PriorityPreemptive, RateMonotonic, RoundRobin,
+    EarliestDeadlineFirst, Fifo, GlobalEdf, PriorityPreemptive, RateMonotonic, RoundRobin,
 };
 use rtsim::scenarios::contended_system;
 use rtsim::{
-    ActorKind, Measure, Overheads, SchedulingPolicy, SimDuration, SimTime, SystemModel,
-    TaskConfig, TaskState,
+    assign_rate_monotonic, partition_first_fit, ActorKind, Measure, Overheads, PeriodicTask,
+    Priority, SchedulingPolicy, SimDuration, SimTime, SystemModel, TaskConfig, TaskState,
 };
 
 fn us(v: u64) -> SimDuration {
@@ -49,6 +49,71 @@ fn edf_meets_deadlines_where_rate_monotonic_misses() {
     assert_eq!(edf, 0, "EDF must schedule a U=1.0 implicit-deadline set");
     assert!(rm > 0, "rate-monotonic must miss above the Liu-Layland bound");
     assert!(edf <= rm);
+}
+
+/// Dhall's task set scaled to microseconds: one near-full-utilization
+/// heavy task plus two light tasks whose shorter period gives them the
+/// earlier deadlines. On two cores, global EDF lets the light jobs hog
+/// both cores at every release, so the heavy job starts too late to
+/// meet its deadline — while the per-core utilizations are low enough
+/// that a first-fit partition under rate-monotonic meets everything.
+fn dhall_tasks() -> Vec<PeriodicTask> {
+    vec![
+        PeriodicTask::new("heavy", us(1_000), us(1_100), Priority(1)),
+        PeriodicTask::new("light0", us(400), us(1_000), Priority(1)),
+        PeriodicTask::new("light1", us(400), us(1_000), Priority(1)),
+    ]
+}
+
+fn dhall_misses(model: SystemModel) -> u64 {
+    let mut system = model.elaborate().unwrap();
+    system.run().unwrap();
+    system.processor_stats("CPU").unwrap().deadline_misses
+}
+
+#[test]
+fn partitioned_rm_beats_global_edf_on_the_dhall_workload() {
+    // Global: one ready queue over both cores, migration allowed.
+    let mut global = SystemModel::new("dhall_global");
+    global.software_processor("CPU", Overheads::zero());
+    global.processor_cores("CPU", 2);
+    for t in dhall_tasks() {
+        let cfg = TaskConfig::new(&t.name).priority(t.priority.0).deadline(t.deadline);
+        global.periodic_function(cfg, t.period, t.wcet, 3);
+        global.map_to_processor(&t.name, "CPU");
+    }
+    global.override_schedulers(true, |_| Box::new(GlobalEdf::new()));
+
+    // Partitioned: the analysis helpers place the heavy task alone on
+    // core 0 and both light tasks on core 1; pinning makes it so.
+    let tasks = assign_rate_monotonic(dhall_tasks());
+    let bins = partition_first_fit(&tasks, 2).expect("the Dhall set partitions on two cores");
+    let mut partitioned = SystemModel::new("dhall_partitioned");
+    partitioned.software_processor("CPU", Overheads::zero());
+    partitioned.processor_cores("CPU", 2);
+    for (core, bin) in bins.iter().enumerate() {
+        for &i in bin {
+            let t = &tasks[i];
+            let cfg = TaskConfig::new(&t.name)
+                .priority(t.priority.0)
+                .deadline(t.deadline)
+                .pin_to_core(core);
+            partitioned.periodic_function(cfg, t.period, t.wcet, 3);
+            partitioned.map_to_processor(&t.name, "CPU");
+        }
+    }
+    partitioned.override_schedulers(true, |_| Box::new(RateMonotonic::new()));
+
+    let global_misses = dhall_misses(global);
+    let partitioned_misses = dhall_misses(partitioned);
+    assert!(
+        global_misses > 0,
+        "global EDF must exhibit the Dhall effect on this set"
+    );
+    assert_eq!(
+        partitioned_misses, 0,
+        "partitioned rate-monotonic must meet every deadline"
+    );
 }
 
 #[test]
