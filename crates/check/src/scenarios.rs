@@ -11,9 +11,9 @@
 use rtsim_comm::EventPolicy;
 use rtsim_comm::LockMode;
 use rtsim_core::TaskConfig;
-use rtsim_kernel::SimDuration;
+use rtsim_kernel::{SimDuration, SimTime};
 use rtsim_mcse::script as s;
-use rtsim_mcse::{Mapping, Message, SystemModel};
+use rtsim_mcse::{FaultPlan, Mapping, Message, SystemModel};
 
 use crate::oracle::{
     built_ins, CriticalSectionExclusion, NoLostMessage, NoMissedDeadline, Oracle,
@@ -248,6 +248,42 @@ fn smp_migration_system() -> SystemModel {
     model
 }
 
+/// Two producers colliding into one queue every round, under a fault
+/// plan that drops every delivery inside a scripted window covering the
+/// second round. The drop decision is a pure function of simulation
+/// time — never of the interleaving — so every schedule loses exactly
+/// the two round-2 messages, the consumer's expected intake is fixed at
+/// four, and the built-in conservation oracles must hold on **every**
+/// interleaving of the producer races. (A probability lane would be
+/// deterministic per path too, but a time window keeps the loss set
+/// identical across the whole tree, which is what the oracles need.)
+fn fault_dropout_system() -> SystemModel {
+    let mut model = SystemModel::new("fault_dropout");
+    model.queue("Q", 8);
+    for (i, name) in ["Prod_A", "Prod_B"].iter().enumerate() {
+        let id = i as u64;
+        model.function_script(
+            TaskConfig::new(name),
+            vec![s::repeat(
+                3,
+                vec![s::delay(us(20)), s::q_write("Q", move |_| Message::new(id, 4))],
+            )],
+        );
+        model.map(name, Mapping::Hardware);
+    }
+    model.function_script(
+        TaskConfig::new("Consumer"),
+        vec![s::repeat(4, vec![s::q_read("Q")])],
+    );
+    model.map("Consumer", Mapping::Hardware);
+    model.fault_plan(FaultPlan::new(0xC4EC).drop_window(
+        "Q",
+        SimTime::ZERO + us(35),
+        SimTime::ZERO + us(45),
+    ));
+    model
+}
+
 /// MUTANT: a 100 µs job on a task whose relative deadline is 50 µs —
 /// the completion is late on every schedule.
 fn mutant_deadline_system() -> SystemModel {
@@ -381,6 +417,13 @@ pub static SCENARIOS: &[CheckScenario] = &[
     CheckScenario {
         name: "smp_migration",
         build: smp_migration_system,
+        horizon: SimDuration::from_ms(10),
+        oracles: built_ins,
+        expect: Expectation::Hold,
+    },
+    CheckScenario {
+        name: "fault_dropout",
+        build: fault_dropout_system,
         horizon: SimDuration::from_ms(10),
         oracles: built_ins,
         expect: Expectation::Hold,

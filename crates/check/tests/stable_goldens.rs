@@ -14,7 +14,7 @@ fn stable_tie_break_reproduces_all_farm_goldens() {
     let goldens = std::fs::read_to_string(goldens_path())
         .expect("pinned goldens at tests/goldens/farm.jsonl");
     let cells = full_matrix();
-    assert_eq!(cells.len(), 160, "full matrix drifted");
+    assert_eq!(cells.len(), 224, "full matrix drifted");
     let results: Vec<CellResult> = cells
         .into_iter()
         .map(|cell| {

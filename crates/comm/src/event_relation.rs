@@ -20,7 +20,8 @@ use std::sync::Arc;
 
 use rtsim_kernel::sync::Mutex;
 use rtsim_core::agent::{Agent, Waiter};
-use rtsim_trace::{ActorKind, CommKind, TraceRecorder};
+use rtsim_fault::ChannelLane;
+use rtsim_trace::{ActorKind, CommKind, FaultKind, TraceRecorder};
 
 /// Memorization policy of an [`RtEvent`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -49,6 +50,8 @@ struct EvState {
     policy: EventPolicy,
     tokens: u64,
     waiters: VecDeque<Waiter>,
+    /// Installed by a fault plan: consulted once per signal.
+    lane: Option<Arc<ChannelLane>>,
 }
 
 /// Outcome of one [`RtEvent::wait_attempt`] step.
@@ -114,6 +117,7 @@ impl RtEvent {
                 policy,
                 tokens: 0,
                 waiters: VecDeque::new(),
+                lane: None,
             })),
             actor,
             recorder: recorder.clone(),
@@ -141,12 +145,28 @@ impl RtEvent {
         self.state.lock().tokens
     }
 
+    /// Installs a fault plan's dropout lane: every subsequent signal
+    /// consults it, and a dropped notification vanishes in transit — no
+    /// token is memorized, no waiter wakes, and the trace gains a
+    /// `drop-signal` fault record on this relation.
+    pub fn install_fault_lane(&self, lane: Arc<ChannelLane>) {
+        self.state.lock().lane = Some(lane);
+    }
+
     /// Signals the event from `agent`.
     ///
     /// Fugitive: wakes every current waiter, remembers nothing. Boolean:
     /// sets the flag (saturating) and wakes one waiter. Counter: adds a
     /// token and wakes one waiter.
     pub fn signal(&self, agent: &mut dyn Agent) {
+        let lane = self.state.lock().lane.clone();
+        if let Some(lane) = lane {
+            let now = agent.now();
+            if lane.should_drop(now) {
+                self.recorder.fault(self.actor, now, FaultKind::DropSignal, 0);
+                return;
+            }
+        }
         self.recorder
             .comm(agent.trace_actor(), agent.now(), self.actor, CommKind::Signal);
         let to_wake: Vec<Waiter> = {

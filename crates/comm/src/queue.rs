@@ -13,13 +13,32 @@ use std::sync::Arc;
 
 use rtsim_kernel::sync::Mutex;
 use rtsim_core::agent::{Agent, Waiter};
-use rtsim_trace::{ActorKind, CommKind, TraceRecorder};
+use rtsim_fault::ChannelLane;
+use rtsim_trace::{ActorKind, CommKind, FaultKind, TraceRecorder};
 
 struct QState<T> {
     buffer: VecDeque<T>,
     capacity: usize,
-    readers: VecDeque<Waiter>,
-    writers: VecDeque<Waiter>,
+    readers: VecDeque<(u64, Waiter)>,
+    writers: VecDeque<(u64, Waiter)>,
+    /// Installed by a fault plan: consulted once per message, on the
+    /// first attempt of each write (never on blocked retries).
+    lane: Option<Arc<ChannelLane>>,
+    /// Seniority counter for blocked ends: each *first* registration
+    /// takes the next ticket, and a waiter that is woken but loses the
+    /// race for the freed slot (a running task wrote/read first without
+    /// ever blocking) re-registers under its original ticket, so the
+    /// wait lists stay ordered by who blocked first — not by who
+    /// happened to retry last.
+    next_ticket: u64,
+}
+
+/// Inserts a waiter keeping the list sorted by ticket. Fresh tickets are
+/// monotonically increasing, so this is a plain append except when a
+/// barged waiter re-registers with its old (lower) ticket.
+fn enqueue_waiter(list: &mut VecDeque<(u64, Waiter)>, ticket: u64, waiter: Waiter) {
+    let pos = list.partition_point(|(t, _)| *t < ticket);
+    list.insert(pos, (ticket, waiter));
 }
 
 /// A bounded, blocking message queue between MCSE functions.
@@ -92,6 +111,8 @@ impl<T: Send> MessageQueue<T> {
                 capacity,
                 readers: VecDeque::new(),
                 writers: VecDeque::new(),
+                lane: None,
+                next_ticket: 0,
             })),
             actor,
             recorder: recorder.clone(),
@@ -114,6 +135,15 @@ impl<T: Send> MessageQueue<T> {
         self.state.lock().capacity
     }
 
+    /// Installs a fault plan's dropout lane: every subsequent write's
+    /// *first* attempt consults it, and a dropped message vanishes in
+    /// transit — the writer proceeds as if delivered, the buffer never
+    /// sees it, and the trace gains a `drop-message` fault record on
+    /// this relation.
+    pub fn install_fault_lane(&self, lane: Arc<ChannelLane>) {
+        self.state.lock().lane = Some(lane);
+    }
+
     /// Messages currently buffered.
     pub fn len(&self) -> usize {
         self.state.lock().buffer.len()
@@ -127,17 +157,39 @@ impl<T: Send> MessageQueue<T> {
     /// Non-blocking step of [`write`](MessageQueue::write): appends the
     /// message, or — on a full queue — registers the agent's waiter (the
     /// next read will wake it) and hands the message back. The caller
-    /// must then suspend and retry. Used directly by the segment-mode
-    /// script interpreter; [`write`](MessageQueue::write) is the blocking
-    /// wrapper.
-    pub fn write_attempt(&self, agent: &mut dyn Agent, message: T) -> Result<(), T> {
+    /// must then suspend and retry, threading `ticket` through every
+    /// retry of the *same* write: the queue stores the waiter's
+    /// seniority there on first registration, and a retry that loses the
+    /// freed slot to a barging task re-queues at its original FIFO
+    /// position instead of the back. Used directly by the segment-mode
+    /// script interpreter; [`write`](MessageQueue::write) is the
+    /// blocking wrapper.
+    pub fn write_attempt(
+        &self,
+        agent: &mut dyn Agent,
+        message: T,
+        ticket: &mut Option<u64>,
+    ) -> Result<(), T> {
+        // Fault lane: decide each message's fate exactly once, on its
+        // first attempt — a retry after blocking is the same message.
+        if ticket.is_none() {
+            let lane = self.state.lock().lane.clone();
+            if let Some(lane) = lane {
+                let now = agent.now();
+                if lane.should_drop(now) {
+                    self.recorder
+                        .fault(self.actor, now, FaultKind::DropMessage, 0);
+                    return Ok(());
+                }
+            }
+        }
         let wake = {
             let mut st = self.state.lock();
             if st.buffer.len() < st.capacity {
                 st.buffer.push_back(message);
                 let depth = st.buffer.len();
                 let cap = st.capacity;
-                let reader = st.readers.pop_front();
+                let reader = st.readers.pop_front().map(|(_, w)| w);
                 drop(st);
                 let now = agent.now();
                 self.recorder
@@ -145,7 +197,16 @@ impl<T: Send> MessageQueue<T> {
                 self.recorder.queue_depth(self.actor, now, depth, cap);
                 reader
             } else {
-                st.writers.push_back(agent.waiter());
+                let t = match *ticket {
+                    Some(t) => t,
+                    None => {
+                        let t = st.next_ticket;
+                        st.next_ticket += 1;
+                        *ticket = Some(t);
+                        t
+                    }
+                };
+                enqueue_waiter(&mut st.writers, t, agent.waiter());
                 return Err(message);
             }
         };
@@ -158,8 +219,9 @@ impl<T: Send> MessageQueue<T> {
     /// Appends `message`, blocking while the queue is full.
     pub fn write(&self, agent: &mut dyn Agent, message: T) {
         let mut message = message;
+        let mut ticket = None;
         loop {
-            match self.write_attempt(agent, message) {
+            match self.write_attempt(agent, message, &mut ticket) {
                 Ok(()) => return,
                 Err(m) => {
                     message = m;
@@ -171,15 +233,17 @@ impl<T: Send> MessageQueue<T> {
 
     /// Non-blocking step of [`read`](MessageQueue::read): removes the
     /// oldest message, or — on an empty queue — registers the agent's
-    /// waiter and returns `None`; the caller must suspend and retry.
-    pub fn read_attempt(&self, agent: &mut dyn Agent) -> Option<T> {
+    /// waiter and returns `None`; the caller must suspend and retry,
+    /// threading `ticket` exactly as in
+    /// [`write_attempt`](MessageQueue::write_attempt).
+    pub fn read_attempt(&self, agent: &mut dyn Agent, ticket: &mut Option<u64>) -> Option<T> {
         let (message, wake) = {
             let mut st = self.state.lock();
             match st.buffer.pop_front() {
                 Some(m) => {
                     let depth = st.buffer.len();
                     let cap = st.capacity;
-                    let writer = st.writers.pop_front();
+                    let writer = st.writers.pop_front().map(|(_, w)| w);
                     drop(st);
                     let now = agent.now();
                     self.recorder
@@ -188,7 +252,16 @@ impl<T: Send> MessageQueue<T> {
                     (m, writer)
                 }
                 None => {
-                    st.readers.push_back(agent.waiter());
+                    let t = match *ticket {
+                        Some(t) => t,
+                        None => {
+                            let t = st.next_ticket;
+                            st.next_ticket += 1;
+                            *ticket = Some(t);
+                            t
+                        }
+                    };
+                    enqueue_waiter(&mut st.readers, t, agent.waiter());
                     return None;
                 }
             }
@@ -201,8 +274,9 @@ impl<T: Send> MessageQueue<T> {
 
     /// Removes the oldest message, blocking while the queue is empty.
     pub fn read(&self, agent: &mut dyn Agent) -> T {
+        let mut ticket = None;
         loop {
-            match self.read_attempt(agent) {
+            match self.read_attempt(agent, &mut ticket) {
                 Some(m) => return m,
                 None => agent.suspend(false),
             }
@@ -219,7 +293,7 @@ impl<T: Send> MessageQueue<T> {
             st.buffer.push_back(message);
             let depth = st.buffer.len();
             let cap = st.capacity;
-            let reader = st.readers.pop_front();
+            let reader = st.readers.pop_front().map(|(_, w)| w);
             drop(st);
             let now = agent.now();
             self.recorder
@@ -240,7 +314,7 @@ impl<T: Send> MessageQueue<T> {
             let m = st.buffer.pop_front()?;
             let depth = st.buffer.len();
             let cap = st.capacity;
-            let writer = st.writers.pop_front();
+            let writer = st.writers.pop_front().map(|(_, w)| w);
             drop(st);
             let now = agent.now();
             self.recorder

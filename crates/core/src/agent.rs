@@ -131,6 +131,19 @@ pub trait Agent {
     /// through a priority change (no-op in hardware).
     fn reschedule(&mut self) {}
 
+    /// This agent's relative deadline, if it is a task with one
+    /// configured (`None` in hardware — no RTOS, no deadline).
+    fn relative_deadline(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Changes the relative deadline in force from the next activation
+    /// on (no-op in hardware). Fault-degraded modes use this to relax a
+    /// task's timing contract (see the `rtsim-fault` crate).
+    fn set_relative_deadline(&mut self, deadline: Option<SimDuration>) {
+        let _ = deadline;
+    }
+
     /// Annotates the trace at the current instant — the anchor for
     /// TimeLine measurements and reaction-time constraints.
     fn annotate(&mut self, label: &str) {
@@ -183,6 +196,14 @@ impl Agent for TaskCtx<'_> {
 
     fn reschedule(&mut self) {
         TaskCtx::reschedule(self);
+    }
+
+    fn relative_deadline(&self) -> Option<SimDuration> {
+        self.handle().relative_deadline()
+    }
+
+    fn set_relative_deadline(&mut self, deadline: Option<SimDuration>) {
+        self.handle().set_relative_deadline(deadline);
     }
 }
 

@@ -362,6 +362,30 @@ impl TaskHandle {
     pub fn set_priority(&self, priority: Priority) {
         self.engine.shared().lock().entry_mut(self.id).config.priority = priority;
     }
+
+    /// The task's current relative deadline (EDF parameter and
+    /// deadline-miss bound), if one is configured.
+    pub fn relative_deadline(&self) -> Option<SimDuration> {
+        self.engine
+            .shared()
+            .lock()
+            .entry(self.id)
+            .config
+            .relative_deadline
+    }
+
+    /// Changes the task's relative deadline. Takes effect at the next
+    /// activation — the running job keeps the absolute deadline it was
+    /// released under. The mechanism behind fault-degraded modes relaxing
+    /// a task's timing contract (see the `rtsim-fault` crate).
+    pub fn set_relative_deadline(&self, deadline: Option<SimDuration>) {
+        self.engine
+            .shared()
+            .lock()
+            .entry_mut(self.id)
+            .config
+            .relative_deadline = deadline;
+    }
 }
 
 impl fmt::Debug for TaskHandle {

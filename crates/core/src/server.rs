@@ -66,7 +66,7 @@ use std::sync::Arc;
 use rtsim_kernel::sync::Mutex;
 use rtsim_kernel::{SimDuration, SimTime, Simulator};
 
-use crate::agent::Waiter;
+use crate::agent::{Agent, Waiter};
 use crate::processor::{Processor, TaskHandle};
 use crate::task::TaskConfig;
 
@@ -297,7 +297,6 @@ pub fn spawn_deferrable_server(
     let period = config.period;
     let full_budget = config.budget;
     let cycles = config.cycles;
-    let handle_queue = queue.clone();
     let handle = processor.spawn_task(sim, task_config, move |t| {
         let start = t.now();
         let horizon = start + period * cycles;
@@ -322,11 +321,20 @@ pub fn spawn_deferrable_server(
                 continue;
             }
             // Serve one slice, or suspend (budget preserved!) until a
-            // submission wakes us.
+            // submission wakes us. The waiter is armed *under the same
+            // lock as the emptiness check* (no lost wakeup) and only for
+            // this idle wait: were it armed permanently, a submission
+            // landing during the replenishment sleep above would mark
+            // the still-sleeping task Ready, and the grant would hold
+            // the CPU idle until the timer fires — starving lower-
+            // priority work for up to a full period.
             let slice = {
                 let mut st = queue.state.lock();
                 match st.pending.front_mut() {
-                    None => None,
+                    None => {
+                        st.waiter = Some(t.waiter());
+                        None
+                    }
                     Some(req) => {
                         let slice = req.remaining.min(budget);
                         req.remaining -= slice;
@@ -340,7 +348,10 @@ pub fn spawn_deferrable_server(
                 }
             };
             match slice {
-                None => t.suspend(false),
+                None => {
+                    t.suspend(false);
+                    queue.state.lock().waiter = None;
+                }
                 Some((slice, finished, id, submitted)) => {
                     t.execute(slice);
                     budget -= slice;
@@ -355,7 +366,6 @@ pub fn spawn_deferrable_server(
             }
         }
     });
-    handle_queue.state.lock().waiter = Some(Waiter::Task(handle.clone()));
     handle
 }
 
@@ -555,6 +565,119 @@ mod tests {
         // 30 µs served 10..40, budget out; replenish at 100, final 20 µs
         // served 100..120.
         assert_eq!(done[0].completed, SimTime::ZERO + us(120));
+    }
+
+    #[test]
+    fn deferrable_request_at_replenishment_instant_sees_fresh_budget() {
+        // Regression: a request arriving at exactly the replenishment
+        // boundary must be served with the refilled budget, not deferred
+        // a full period. Pinned in both kernel execution modes (the
+        // server is a thread-backed closure either way; the scheduler
+        // loop differs).
+        for mode in [
+            rtsim_kernel::ExecMode::Thread,
+            rtsim_kernel::ExecMode::Segment,
+        ] {
+            let mut sim = Simulator::with_mode(mode);
+            let rec = TraceRecorder::new();
+            let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+            let queue = AperiodicQueue::new();
+            spawn_deferrable_server(
+                &cpu,
+                &mut sim,
+                PollingServerConfig {
+                    name: "dsrv".into(),
+                    priority: 5,
+                    period: us(100),
+                    budget: us(30),
+                    cycles: 4,
+                },
+                queue.clone(),
+            );
+            // Exhaust the whole budget mid-period, then land a request at
+            // exactly t = 100 — the replenishment instant.
+            let submit = queue.clone();
+            sim.spawn("stim", move |ctx| {
+                ctx.wait_for(us(10));
+                submit.submit_from(ctx, 1, us(30)); // served 10..40, budget out
+                ctx.wait_for(us(90)); // now exactly at the boundary
+                submit.submit_from(ctx, 2, us(20));
+            });
+            sim.run().unwrap();
+            let done = queue.completions();
+            assert_eq!(done.len(), 2, "[{mode:?}] both requests served");
+            assert_eq!(done[0].completed, SimTime::ZERO + us(40), "[{mode:?}]");
+            // The boundary request sees the t=100 refill: served 100..120.
+            assert_eq!(
+                done[1].completed,
+                SimTime::ZERO + us(120),
+                "[{mode:?}] boundary arrival must not defer a full period"
+            );
+        }
+    }
+
+    #[test]
+    fn submission_during_replenishment_sleep_does_not_hold_the_cpu() {
+        // Regression: with the queue waiter armed permanently, a
+        // submission landing while the server slept out its exhausted
+        // budget marked the sleeping task Ready — the grant held the
+        // CPU idle until the replenishment timer fired, starving
+        // lower-priority work for the rest of the period. Pinned in
+        // both kernel execution modes.
+        for mode in [
+            rtsim_kernel::ExecMode::Thread,
+            rtsim_kernel::ExecMode::Segment,
+        ] {
+            let mut sim = Simulator::with_mode(mode);
+            let rec = TraceRecorder::new();
+            let cpu = Processor::new(&mut sim, &rec, ProcessorConfig::new("CPU"));
+            let queue = AperiodicQueue::new();
+            spawn_deferrable_server(
+                &cpu,
+                &mut sim,
+                PollingServerConfig {
+                    name: "dsrv".into(),
+                    priority: 5,
+                    period: us(100),
+                    budget: us(30),
+                    cycles: 3,
+                },
+                queue.clone(),
+            );
+            cpu.spawn_task(&mut sim, TaskConfig::new("bg").priority(1), |t| {
+                t.execute(us(200));
+            });
+            let submit = queue.clone();
+            sim.spawn("stim", move |ctx| {
+                ctx.wait_for(us(10));
+                submit.submit_from(ctx, 1, us(30)); // exhausts the budget 10..40
+                ctx.wait_for(us(50)); // t = 60: mid replenishment sleep
+                submit.submit_from(ctx, 2, us(10));
+            });
+            sim.run().unwrap();
+            let done = queue.completions();
+            assert_eq!(done.len(), 2, "[{mode:?}]");
+            // The mid-sleep arrival is served right after the t=100 refill.
+            assert_eq!(done[1].completed, SimTime::ZERO + us(110), "[{mode:?}]");
+            // bg needs 200 µs; the server consumes 40 µs total, so bg must
+            // finish at 240 — not 280 (the phantom grant wasted 60..100).
+            let trace = rec.snapshot();
+            let bg = trace.actor_by_name("bg").unwrap();
+            let bg_done = trace
+                .records_for(bg)
+                .find_map(|r| match r.data {
+                    rtsim_trace::TraceData::State(rtsim_trace::TaskState::Terminated) => {
+                        Some(r.at)
+                    }
+                    _ => None,
+                })
+                .expect("bg finished");
+            assert_eq!(
+                bg_done,
+                SimTime::ZERO + us(240),
+                "[{mode:?}] sleeping server must not hold the CPU"
+            );
+        }
     }
 
     #[test]

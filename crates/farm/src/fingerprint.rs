@@ -36,6 +36,11 @@ pub struct Fingerprint {
     pub preemptions: u64,
     /// Deadline misses summed over all software processors.
     pub deadline_misses: u64,
+    /// Fault-injection records in the trace (drops, jitter, bursts, mode
+    /// changes). Zero for every cell without a fault plan, so the
+    /// pre-fault golden lines stay byte-identical (the field is omitted
+    /// from golden lines when zero).
+    pub faults: u64,
 }
 
 impl Fingerprint {
@@ -105,6 +110,15 @@ pub fn fingerprint(system: &ElaboratedSystem) -> Fingerprint {
     let makespan_ps = trace.horizon().as_ps();
     let _ = writeln!(text, "makespan {makespan_ps}");
 
+    // Fault records are already hashed through the canonical `F` lines;
+    // the count is carried alongside so a fault-cell drift report can say
+    // "the injection pattern moved", not just "the hash moved".
+    let faults = trace
+        .records()
+        .iter()
+        .filter(|r| matches!(r.data, rtsim_trace::TraceData::Fault { .. }))
+        .count() as u64;
+
     let mut hasher = Fnv1a::new();
     hasher.write(text.as_bytes());
     Fingerprint {
@@ -114,6 +128,7 @@ pub fn fingerprint(system: &ElaboratedSystem) -> Fingerprint {
         dispatches,
         preemptions,
         deadline_misses,
+        faults,
     }
 }
 
@@ -146,6 +161,7 @@ mod tests {
         assert_eq!(f.dispatches, 9);
         assert_eq!(f.preemptions, 2);
         assert_eq!(f.deadline_misses, 0);
+        assert_eq!(f.faults, 0); // no fault plan: no fault records
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn goldens_path() -> PathBuf {
 /// Renders one cell result as its golden JSONL line (no trailing
 /// newline). Multi-core cells carry a `"cores"` field right after
 /// `"mode"`; single-core lines omit it, so the entire pre-SMP golden
-/// file remains byte-identical under the current writer.
+/// file remains byte-identical under the current writer. Cells whose run
+/// recorded fault injections carry a trailing `"faults"` count under the
+/// same convention: fault-free lines omit it, keeping every pre-fault
+/// golden line unchanged too.
 pub fn render_line(result: &CellResult) -> String {
     let f = &result.fingerprint;
     let mut fields = vec![
@@ -61,6 +64,9 @@ pub fn render_line(result: &CellResult) -> String {
         ("preemptions", Json::from(f.preemptions)),
         ("deadline_misses", Json::from(f.deadline_misses)),
     ]);
+    if f.faults > 0 {
+        fields.push(("faults", Json::from(f.faults)));
+    }
     Json::obj(fields).to_string()
 }
 
@@ -132,6 +138,8 @@ pub fn parse_line(line: &str) -> Option<CellResult> {
             dispatches: u64_field(line, "dispatches")?,
             preemptions: u64_field(line, "preemptions")?,
             deadline_misses: u64_field(line, "deadline_misses")?,
+            // Absent on fault-free lines (the whole pre-fault file).
+            faults: u64_field(line, "faults").unwrap_or(0),
         },
     })
 }
@@ -150,6 +158,7 @@ pub fn render_csv(results: &[CellResult]) -> String {
         "dispatches",
         "preemptions",
         "deadline_misses",
+        "faults",
     ]);
     for r in results {
         let f = &r.fingerprint;
@@ -164,6 +173,7 @@ pub fn render_csv(results: &[CellResult]) -> String {
             f.dispatches.to_string(),
             f.preemptions.to_string(),
             f.deadline_misses.to_string(),
+            f.faults.to_string(),
         ]);
     }
     table.to_string()
@@ -186,12 +196,13 @@ impl DiffOutcome {
     }
 }
 
-const FIELDS: [&str; 5] = [
+const FIELDS: [&str; 6] = [
     "events",
     "makespan_ps",
     "dispatches",
     "preemptions",
     "deadline_misses",
+    "faults",
 ];
 
 fn describe_drift(cell: &str, expected: &str, actual: &str) -> String {
@@ -293,6 +304,7 @@ mod tests {
                 dispatches: 9,
                 preemptions: 2,
                 deadline_misses: 0,
+                faults: 0,
             },
         }
     }
@@ -355,6 +367,18 @@ mod tests {
         // Same cell on a different core count is a different key.
         let other = diff(&render(&[result]), &[result], true);
         assert!(other.is_clean(), "{:?}", other.messages);
+    }
+
+    #[test]
+    fn fault_cells_round_trip_and_fault_free_lines_omit_the_field() {
+        let mut result = sample(PolicyKind::Priority, 11);
+        // Fault-free lines never carry the field: the pre-fault golden
+        // format is preserved byte-for-byte.
+        assert!(!render_line(&result).contains("faults"));
+        result.fingerprint.faults = 7;
+        let line = render_line(&result);
+        assert!(line.contains("\"faults\":7"), "{line}");
+        assert_eq!(parse_line(&line), Some(result));
     }
 
     #[test]

@@ -9,9 +9,10 @@ use rtsim_mcse::SystemModel;
 
 use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::scenarios::{
-    automotive_system, contended_system, figure6_system, figure7_system, mpeg2_system,
-    policy_sweep_system, quickstart_system, smp_global_system, smp_partitioned_system,
-    AutomotiveConfig, Mpeg2Config,
+    automotive_system, contended_system, fault_burst_mpeg2_system, fault_degraded_sensor_system,
+    fault_drop_automotive_system, fault_jitter_sweep_system, figure6_system, figure7_system,
+    mpeg2_system, policy_sweep_system, quickstart_system, smp_global_system,
+    smp_partitioned_system, AutomotiveConfig, Mpeg2Config,
 };
 
 /// Every scheduling behaviour the farm sweeps. One entry per built-in
@@ -187,6 +188,32 @@ pub const SCENARIOS: &[Scenario] = &[
         horizon: SimDuration::from_ms(100),
         core_counts: &[2, 4],
     },
+    // Fault-injection scenarios come after every nominal scenario, so
+    // the pre-fault golden lines keep their relative order.
+    Scenario {
+        name: "fault_drop_automotive",
+        build: |_| fault_drop_automotive_system(),
+        horizon: SimDuration::from_ms(2_000),
+        core_counts: &[1],
+    },
+    Scenario {
+        name: "fault_jitter_sweep",
+        build: |_| fault_jitter_sweep_system(),
+        horizon: SimDuration::from_ms(2_000),
+        core_counts: &[1],
+    },
+    Scenario {
+        name: "fault_burst_mpeg2",
+        build: |_| fault_burst_mpeg2_system(),
+        horizon: SimDuration::from_ms(2_000),
+        core_counts: &[1],
+    },
+    Scenario {
+        name: "fault_degraded_sensor",
+        build: |_| fault_degraded_sensor_system(),
+        horizon: SimDuration::from_ms(500),
+        core_counts: &[1],
+    },
 ];
 
 /// Looks a scenario up by name.
@@ -283,8 +310,9 @@ pub fn full_matrix() -> Vec<Cell> {
 
 /// The reduced matrix used under `RTSIM_BENCH_SMOKE=1`: the three
 /// fastest scenarios × three representative policies × both modes,
-/// plus one dual-core cell per SMP scenario (20 cells), so test suites
-/// can exercise the whole pipeline in seconds.
+/// plus one dual-core cell per SMP scenario and two fault-injection
+/// cells (22 cells), so test suites can exercise the whole pipeline —
+/// including the fault lanes — in seconds.
 pub fn smoke_matrix() -> Vec<Cell> {
     let scenarios = ["quickstart", "paper_fig6", "design_space"];
     let policies = [PolicyKind::Priority, PolicyKind::Fifo, PolicyKind::Edf];
@@ -312,6 +340,20 @@ pub fn smoke_matrix() -> Vec<Cell> {
             policy,
             preemptive: true,
             cores: 2,
+        });
+    }
+    // Two fault-injection probes so the smoke sweep crosses the fault
+    // lanes: release jitter on the periodic sweep and the degraded-mode
+    // state machine, one cell each.
+    for (scenario, policy) in [
+        ("fault_jitter_sweep", PolicyKind::Priority),
+        ("fault_degraded_sensor", PolicyKind::Priority),
+    ] {
+        cells.push(Cell {
+            scenario,
+            policy,
+            preemptive: true,
+            cores: 1,
         });
     }
     cells
@@ -449,8 +491,8 @@ mod tests {
     fn matrix_shapes() {
         let combos: usize = SCENARIOS.iter().map(|s| s.core_counts.len()).sum();
         assert_eq!(full_matrix().len(), combos * PolicyKind::ALL.len() * 2);
-        assert_eq!(full_matrix().len(), 160);
-        assert_eq!(smoke_matrix().len(), 20);
+        assert_eq!(full_matrix().len(), 224); // 160 nominal + 64 fault cells
+        assert_eq!(smoke_matrix().len(), 22);
         // The smoke matrix is a subset of the full one.
         let full = full_matrix();
         for cell in smoke_matrix() {

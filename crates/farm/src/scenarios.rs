@@ -22,7 +22,11 @@
 //! - [`smp_partitioned_system`] — four periodic tasks first-fit-packed
 //!   and pinned onto an N-core processor (partitioned rate-monotonic);
 //! - [`smp_global_system`] — phase-shifted floating tasks on an N-core
-//!   processor with a non-zero migration overhead (global scheduling).
+//!   processor with a non-zero migration overhead (global scheduling);
+//! - [`fault_drop_automotive_system`] / [`fault_jitter_sweep_system`] /
+//!   [`fault_burst_mpeg2_system`] / [`fault_degraded_sensor_system`] —
+//!   the systems above under deterministic fault plans (message dropout,
+//!   release jitter, transient overload, degraded-mode entry).
 //!
 //! Every builder returns an un-elaborated [`SystemModel`], so callers can
 //! still add constraints or re-point the schedulers (see
@@ -35,7 +39,7 @@ use rtsim_core::policies::PriorityPreemptive;
 use rtsim_core::{EngineKind, Overheads, TaskConfig};
 use rtsim_kernel::{SimDuration, SimTime};
 use rtsim_mcse::script as s;
-use rtsim_mcse::{Mapping, Message, Regs, SystemModel, TimingConstraint};
+use rtsim_mcse::{FaultPlan, Mapping, Message, Regs, SystemModel, TimingConstraint};
 
 fn us(v: u64) -> SimDuration {
     SimDuration::from_us(v)
@@ -773,6 +777,143 @@ pub fn smp_global_system(cores: u8) -> SystemModel {
         vec![s::repeat(4, vec![s::exec(us(80)), s::delay(us(300))])],
     );
     model.map_to_processor("pinned", "CPU");
+    model
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection scenarios. Each wraps one of the nominal systems above
+// in a deterministic `FaultPlan` (seeded from the farm's campaign seed),
+// so the golden matrix also pins behaviour *under* faults: message
+// dropout, release jitter, transient overload, and degraded-mode entry.
+// All plans replay bit-identically for any worker count and both kernel
+// execution modes — the same invariant the nominal cells pin.
+// ---------------------------------------------------------------------
+
+/// Builds the message-dropout fault scenario: [`automotive_system`]
+/// losing telemetry frames on `q_telemetry` with probability 0.3 (seeded
+/// per-channel stream) and suffering a scripted CAN→dash blackout
+/// (`q_dash`) between 20 ms and 50 ms. Downstream consumers simply see
+/// fewer messages; the run still terminates on its own because every
+/// blocked reader just ends idle.
+pub fn fault_drop_automotive_system() -> SystemModel {
+    let mut model = automotive_system(&AutomotiveConfig::default());
+    model.fault_plan(
+        FaultPlan::seeded(0, 0xD801)
+            .drop_probability("q_telemetry", 0.3)
+            .drop_window(
+                "q_dash",
+                SimTime::ZERO + us(20_000),
+                SimTime::ZERO + us(50_000),
+            ),
+    );
+    model
+}
+
+/// Builds the release-jitter fault scenario: [`policy_sweep_system`]
+/// with bounded uniform jitter on its two most urgent periodic tasks
+/// (task0 up to 150 µs late, task1 up to 300 µs). The offsets are a pure
+/// function of the plan seed and the activation index, so they are
+/// identical under every policy of the sweep — only the scheduling
+/// response to them differs.
+pub fn fault_jitter_sweep_system() -> SystemModel {
+    let mut model = policy_sweep_system();
+    model.fault_plan(
+        FaultPlan::seeded(0, 0x71E2)
+            .jitter("task0", us(150))
+            .jitter("task1", us(300)),
+    );
+    model
+}
+
+/// Builds the transient-overload fault scenario: the 6-frame
+/// [`mpeg2_system`] with two scripted burst windows — motion estimation
+/// costs double between 4 ms and 12 ms, and VLC costs 3/2 between 8 ms
+/// and 20 ms — modelling data-dependent load spikes in the encoder.
+pub fn fault_burst_mpeg2_system() -> SystemModel {
+    let mut model = mpeg2_system(&Mpeg2Config {
+        frames: 6,
+        ..Mpeg2Config::default()
+    });
+    model.fault_plan(
+        FaultPlan::seeded(0, 0xB512)
+            .burst(
+                "motion_est",
+                SimTime::ZERO + us(4_000),
+                SimTime::ZERO + us(12_000),
+                2,
+                1,
+            )
+            .burst(
+                "vlc",
+                SimTime::ZERO + us(8_000),
+                SimTime::ZERO + us(20_000),
+                3,
+                2,
+            ),
+    );
+    model
+}
+
+/// Builds the degraded-mode fault scenario: a hardware sensor feeding a
+/// periodic controller through `q_samples`, with a scripted sensor
+/// blackout from 3 ms to 6 ms. The controller watches the channel
+/// through its [`FaultPlan::degraded`] registration: after 2 consecutive
+/// faulted activations it enters its fallback body (a cheap open-loop
+/// step) under a relaxed 1.5 ms deadline, and recovers to the nominal
+/// closed-loop body after 3 consecutive healthy activations.
+pub fn fault_degraded_sensor_system() -> SystemModel {
+    let mut model = SystemModel::new("degraded_sensor");
+    model.queue("q_samples", 8);
+    model.software_processor("CPU", Overheads::uniform(us(5)));
+    model.function_script(
+        TaskConfig::new("sensor"),
+        vec![s::repeat(
+            24,
+            vec![
+                s::delay(us(500)),
+                s::q_write("q_samples", |r: &Regs| Message::new(r.k, 16)),
+            ],
+        )],
+    );
+    model.function_script(
+        TaskConfig::new("controller").priority(5).deadline(us(400)),
+        vec![s::repeat(
+            24,
+            vec![
+                s::degraded_gate(
+                    // Nominal: consume the freshest sample if one
+                    // arrived, full closed-loop update either way.
+                    vec![
+                        s::q_try_read("q_samples"),
+                        s::if_flag(vec![s::exec(us(200))], vec![s::exec(us(120))]),
+                    ],
+                    // Degraded: cheap open-loop step.
+                    vec![s::exec(us(60))],
+                ),
+                s::periodic_release(us(500)),
+            ],
+        )],
+    );
+    // A chunky low-priority logger so the cell's policy choice is
+    // visible: priority policies preempt (or at least outrank) it at
+    // every controller release, arrival-order policies make the
+    // controller wait a 300 µs chunk out.
+    model.function_script(
+        TaskConfig::new("logger").priority(2),
+        vec![s::repeat(12, vec![s::exec(us(300)), s::delay(us(350))])],
+    );
+    model.map("sensor", Mapping::Hardware);
+    model.map_to_processor("controller", "CPU");
+    model.map_to_processor("logger", "CPU");
+    model.fault_plan(
+        FaultPlan::seeded(0, 0xDE64)
+            .drop_window(
+                "q_samples",
+                SimTime::ZERO + us(3_000),
+                SimTime::ZERO + us(6_000),
+            )
+            .degraded("controller", &["q_samples"], 2, 3, us(1_500)),
+    );
     model
 }
 

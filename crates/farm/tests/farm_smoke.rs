@@ -28,7 +28,7 @@ fn check_passes_against_committed_goldens() {
         "--check failed:\n{stdout}\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
-    assert!(stdout.contains("20 cells match"), "{stdout}");
+    assert!(stdout.contains("22 cells match"), "{stdout}");
     assert!(stdout.contains("smoke subset"), "{stdout}");
 }
 
@@ -57,10 +57,10 @@ fn check_emits_campaign_artifacts() {
         .unwrap();
     assert!(output.status.success());
     let jsonl = std::fs::read_to_string(dir.join("farm.jsonl")).unwrap();
-    assert_eq!(jsonl.lines().count(), 20, "one JSONL record per smoke cell");
+    assert_eq!(jsonl.lines().count(), 22, "one JSONL record per smoke cell");
     assert!(jsonl.contains("\"scenario\":\"paper_fig6\""));
     let csv = std::fs::read_to_string(dir.join("farm.csv")).unwrap();
-    assert_eq!(csv.lines().count(), 21, "header + one CSV row per cell");
+    assert_eq!(csv.lines().count(), 23, "header + one CSV row per cell");
     assert!(csv.starts_with("scenario,policy,mode,cores,hash"));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,109 @@
+//! Fault-plan determinism properties.
+//!
+//! A [`FaultPlan`] is part of the model, not of the run: the same seed
+//! must replay to the same behaviour no matter how the simulation is
+//! hosted. Pinned here:
+//!
+//! - the fault cells of the farm matrix reduce to bit-identical results
+//!   for any worker count (1, 4, 8) of the campaign pool;
+//! - both kernel execution modes reduce every fault cell to the same
+//!   fingerprint *and* the same [`RobustnessSummary`];
+//! - a plan whose injectors can never fire (probability 0, jitter bound
+//!   0) leaves the canonical trace byte-identical to a run with no plan
+//!   at all — installing the machinery is observationally free.
+
+use rtsim_farm::registry::{full_matrix, run_cell_with_mode, run_matrix, Cell};
+use rtsim_farm::scenarios::automotive_system;
+use rtsim_kernel::{ExecMode, SimDuration, SimTime};
+use rtsim_mcse::FaultPlan;
+use rtsim_trace::{canonical, RobustnessSummary};
+
+/// Every fault cell of the full matrix.
+fn fault_cells() -> Vec<Cell> {
+    full_matrix()
+        .into_iter()
+        .filter(|c| c.scenario.starts_with("fault_"))
+        .collect()
+}
+
+#[test]
+fn worker_count_does_not_change_fault_cells() {
+    let cells = fault_cells();
+    assert_eq!(cells.len(), 64);
+    let one = run_matrix(&cells, 1);
+    let four = run_matrix(&cells, 4);
+    let eight = run_matrix(&cells, 8);
+    assert_eq!(one, four);
+    assert_eq!(one, eight);
+    // Every cell really injected something.
+    for r in &one {
+        assert!(r.fingerprint.faults > 0, "{} injected nothing", r.cell.label());
+    }
+}
+
+#[test]
+fn both_exec_modes_replay_to_the_same_robustness_summary() {
+    for scenario in ["fault_drop_automotive", "fault_jitter_sweep", "fault_degraded_sensor"] {
+        let summary = |mode: ExecMode| {
+            let cell = fault_cells()
+                .into_iter()
+                .find(|c| c.scenario == scenario && c.preemptive)
+                .unwrap();
+            run_cell_with_mode(cell, mode)
+        };
+        let thread = summary(ExecMode::Thread);
+        let segment = summary(ExecMode::Segment);
+        assert_eq!(thread, segment, "{scenario}");
+    }
+}
+
+#[test]
+fn zero_probability_plan_is_byte_identical_to_no_plan() {
+    let run = |plan: Option<FaultPlan>| {
+        let mut model = automotive_system(&Default::default());
+        if let Some(plan) = plan {
+            model.fault_plan(plan);
+        }
+        let mut system = model.elaborate().unwrap();
+        system.run().unwrap();
+        canonical(&system.trace())
+    };
+    let nominal = run(None);
+    // Injectors that can never fire: probability-0 dropout, zero-width
+    // drop window, zero-bound jitter.
+    let armed = run(Some(
+        FaultPlan::seeded(0, 99)
+            .drop_probability("q_telemetry", 0.0)
+            .drop_window(
+                "q_dash",
+                SimTime::ZERO + SimDuration::from_us(10),
+                SimTime::ZERO + SimDuration::from_us(10),
+            ),
+    ));
+    assert_eq!(nominal, armed);
+    assert!(!nominal.is_empty());
+}
+
+#[test]
+fn robustness_summary_counts_the_injections() {
+    let mut system = rtsim_farm::scenarios::fault_degraded_sensor_system()
+        .elaborate()
+        .unwrap();
+    system.run().unwrap();
+    let trace = system.trace();
+    let summary = RobustnessSummary::from_trace(&trace, 0);
+    assert!(summary.dropped_messages > 0, "{summary:?}");
+    assert!(summary.degraded_entries > 0, "{summary:?}");
+    assert_eq!(summary.recoveries, summary.degraded_entries, "{summary:?}");
+    assert!(summary.worst_recovery_ps > 0, "{summary:?}");
+    assert_eq!(
+        summary.faults,
+        summary.dropped_messages
+            + summary.dropped_signals
+            + summary.jitter_events
+            + summary.bursts
+            + summary.degraded_entries
+            + summary.recoveries,
+        "{summary:?}"
+    );
+}

@@ -88,7 +88,7 @@ fn check_cache_round_trip_passes() {
     assert!(stdout.contains("byte-identical"), "{stdout}");
     // The cache holds one entry per smoke cell afterwards.
     let entries = std::fs::read_dir(&dir).unwrap().count();
-    assert_eq!(entries, 20, "one cache entry per smoke cell");
+    assert_eq!(entries, 22, "one cache entry per smoke cell");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -113,13 +113,13 @@ fn warm_farm_check_is_cache_served_and_still_green() {
         String::from_utf8_lossy(&output.stdout).into_owned()
     };
     let cold = check("2");
-    assert!(cold.contains("cache: 0 hit(s), 20 miss(es)"), "{cold}");
+    assert!(cold.contains("cache: 0 hit(s), 22 miss(es)"), "{cold}");
     let warm = check("4");
     assert!(
-        warm.contains("cache: 20 hit(s), 0 miss(es)"),
+        warm.contains("cache: 22 hit(s), 0 miss(es)"),
         "warm rerun not fully cache-served:\n{warm}"
     );
-    assert!(warm.contains("20 cells match"), "{warm}");
+    assert!(warm.contains("22 cells match"), "{warm}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

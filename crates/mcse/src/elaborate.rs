@@ -19,7 +19,7 @@ use rtsim_trace::{Statistics, TimelineOptions, Trace, TraceRecorder};
 use crate::constraint::{verify, ConstraintReport, TimingConstraint};
 use crate::error::ModelError;
 use crate::model::{Body, Mapping, Message, RelationDecl, SystemModel};
-use crate::script::{run_blocking, ScriptProcess};
+use crate::script::{run_blocking_with, FaultCtx, ScriptProcess};
 
 /// The relations visible to a function body, looked up by name.
 ///
@@ -160,6 +160,29 @@ impl ElaboratedSystem {
                 }
             }
         }
+        // Fault plan: instantiate the injector once (shared by the comm
+        // lanes and every scripted function) and hang dropout lanes on
+        // the relations the plan names. An empty plan injects nothing —
+        // skip it entirely so such runs are byte-identical to no-plan
+        // runs.
+        let injector = model
+            .fault_plan
+            .as_ref()
+            .filter(|p| !p.is_empty())
+            .map(|p| Arc::new(p.instantiate()));
+        if let Some(inj) = &injector {
+            for (name, q) in &queues {
+                if let Some(lane) = inj.lane(name) {
+                    q.install_fault_lane(lane);
+                }
+            }
+            for (name, ev) in &events {
+                if let Some(lane) = inj.lane(name) {
+                    ev.install_fault_lane(lane);
+                }
+            }
+        }
+
         let io = Arc::new(Io {
             events,
             queues,
@@ -192,6 +215,9 @@ impl ElaboratedSystem {
         for fname in &model.function_order {
             let decl = model_functions.remove(fname).expect("declared function");
             let io = Arc::clone(&io);
+            let fctx = injector
+                .as_ref()
+                .map(|inj| FaultCtx::new(Arc::clone(inj), fname));
             // Scripted bodies follow the simulator's execution mode;
             // closure bodies always need a thread-backed process.
             match (decl.mapping.expect("validated above"), decl.body) {
@@ -201,11 +227,11 @@ impl ElaboratedSystem {
                 (Mapping::Hardware, Body::Script(script)) => {
                     if segment {
                         let runner = register_seg_hw(&mut sim, &recorder, fname);
-                        let mut process = ScriptProcess::hw(runner, io, script);
+                        let mut process = ScriptProcess::hw(runner, io, script).with_fault(fctx);
                         sim.spawn_segment(fname, move |ctx| process.poll(ctx));
                     } else {
                         spawn_hw_function(&mut sim, &recorder, fname, move |hw| {
-                            run_blocking(&script, hw, &io)
+                            run_blocking_with(&script, hw, &io, fctx)
                         });
                     }
                 }
@@ -222,12 +248,12 @@ impl ElaboratedSystem {
                         let runner = processor.register_seg_task(&mut sim, decl.config);
                         let handle = runner.handle();
                         let process_name = format!("{}.{}", processor.name(), fname);
-                        let mut process = ScriptProcess::task(runner, io, script);
+                        let mut process = ScriptProcess::task(runner, io, script).with_fault(fctx);
                         sim.spawn_segment(&process_name, move |ctx| process.poll(ctx));
                         handle
                     } else {
                         processor.spawn_task(&mut sim, decl.config, move |t| {
-                            run_blocking(&script, t, &io)
+                            run_blocking_with(&script, t, &io, fctx)
                         })
                     };
                     tasks.insert(fname.clone(), handle);

@@ -75,4 +75,5 @@ pub use constraint::{ConstraintReport, ConstraintResult, TimingConstraint};
 pub use elaborate::{ElaboratedSystem, Io};
 pub use error::ModelError;
 pub use model::{FunctionBody, Mapping, Message, SystemModel};
-pub use script::{run_blocking, Instr, Regs, ScriptProcess};
+pub use rtsim_fault::FaultPlan;
+pub use script::{run_blocking, run_blocking_with, FaultCtx, Instr, Regs, ScriptProcess};

@@ -15,12 +15,13 @@ use std::sync::Arc;
 use rtsim_comm::{EventPolicy, LockMode};
 use rtsim_core::agent::Agent;
 use rtsim_core::{EngineKind, Overheads, SchedulingPolicy, TaskConfig};
+use rtsim_fault::FaultPlan;
 use rtsim_kernel::{ExecMode, SimDuration};
 
 use crate::constraint::TimingConstraint;
 use crate::elaborate::{ElaboratedSystem, Io};
 use crate::error::ModelError;
-use crate::script::{self, Instr, Regs};
+use crate::script::{self, Instr};
 
 /// An abstract message carried by queues and shared variables in the
 /// functional model.
@@ -147,6 +148,7 @@ pub struct SystemModel {
     pub(crate) relations: BTreeMap<String, RelationDecl>,
     pub(crate) constraints: Vec<TimingConstraint>,
     pub(crate) exec_mode: Option<ExecMode>,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl SystemModel {
@@ -161,6 +163,7 @@ impl SystemModel {
             relations: BTreeMap::new(),
             constraints: Vec::new(),
             exec_mode: None,
+            fault_plan: None,
         }
     }
 
@@ -395,6 +398,19 @@ impl SystemModel {
         self.map(function, Mapping::Software(processor.to_owned()))
     }
 
+    /// Installs a deterministic fault-injection plan (see the
+    /// `rtsim-fault` crate): dropout lanes on the named comm relations,
+    /// arrival jitter and overload bursts on the named tasks, and
+    /// degraded-mode monitoring for tasks with a
+    /// [`degraded_gate`](crate::script::degraded_gate) in their script.
+    ///
+    /// An empty plan (no injectors) is ignored entirely — the elaborated
+    /// system is byte-identical to one without a plan.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Adds a timing constraint, verified after simulation by
     /// [`ElaboratedSystem::verify_constraints`] (the paper's stated
     /// future work: "automatic verification of timing constraints by
@@ -439,10 +455,7 @@ impl SystemModel {
                 // pointless wake.
                 script::repeat(
                     activations - 1,
-                    vec![
-                        script::exec(cost),
-                        script::delay_until_with(move |r: &Regs| r.started + period * (r.k + 1)),
-                    ],
+                    vec![script::exec(cost), script::periodic_release(period)],
                 ),
                 script::exec(cost),
             ]

@@ -26,11 +26,55 @@ use std::sync::Arc;
 
 use rtsim_comm::{EvWait, ReleaseFollowup};
 use rtsim_core::{Agent, SegControl, SegHwRunner, SegTaskRunner};
+use rtsim_fault::{FaultInjector, ModeChange};
 use rtsim_kernel::{SegStep, SegmentCtx, SimDuration, SimTime};
-use rtsim_trace::CommKind;
+use rtsim_trace::{CommKind, FaultKind};
 
 use crate::elaborate::Io;
 use crate::model::Message;
+
+/// The fault-injection view of one function: the system's shared
+/// [`FaultInjector`] plus this function's name, threaded through both
+/// interpreters so [`Instr::Execute`], [`Instr::PeriodicRelease`] and
+/// [`Instr::DegradedGate`] can consult the plan. Absent (the common
+/// case) the interpreters take the exact pre-fault paths, byte for byte.
+pub struct FaultCtx {
+    injector: Arc<FaultInjector>,
+    task: Arc<str>,
+    /// The nominal relative deadline, saved on entering degraded mode
+    /// and restored on recovery.
+    saved_deadline: Option<Option<SimDuration>>,
+}
+
+impl FaultCtx {
+    /// Binds `task`'s interpreter to the system's injector.
+    pub fn new(injector: Arc<FaultInjector>, task: &str) -> Self {
+        FaultCtx {
+            injector,
+            task: Arc::from(task),
+            saved_deadline: None,
+        }
+    }
+
+    /// The jitter offset of this task's activation `k` (zero without a
+    /// matching jitter spec).
+    fn release_offset(&self, k: u64) -> SimDuration {
+        self.injector.release_offset(&self.task, k)
+    }
+
+    /// Was this activation released with jitter or is it inside a burst
+    /// window? (The injector adds watched-channel drops on top.)
+    fn locally_faulted(&self, now: SimTime, k: u64) -> bool {
+        self.injector.burst_active(&self.task, now)
+            || (k > 0 && self.release_offset(k) > SimDuration::ZERO)
+    }
+}
+
+impl std::fmt::Debug for FaultCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultCtx").field("task", &self.task).finish()
+    }
+}
 
 /// The register file a script computes over.
 ///
@@ -111,6 +155,17 @@ pub enum Instr {
     IfFlag(Arc<[Instr]>, Arc<[Instr]>),
     /// Run the body if the current time is strictly past the instant.
     IfNowPast(TimeFn, Arc<[Instr]>),
+    /// Sleep until the next drift-free periodic release point,
+    /// `started + period * (k + 1)` — plus, when a fault plan declares
+    /// arrival jitter for this task, a bounded offset that is a pure
+    /// function of the activation index (recorded as a `jitter` fault).
+    PeriodicRelease(SimDuration),
+    /// Once per activation: advance this task's degraded-mode state
+    /// machine and run the first body while healthy, the second while
+    /// degraded. Entering degraded mode relaxes the task's relative
+    /// deadline to the registered value (restored on recovery); without
+    /// a fault plan the nominal body always runs.
+    DegradedGate(Arc<[Instr]>, Arc<[Instr]>),
     /// End the whole script immediately.
     Return,
 }
@@ -134,6 +189,8 @@ impl std::fmt::Debug for Instr {
             Instr::Forever(b) => write!(f, "Forever({} instrs)", b.len()),
             Instr::IfFlag(t, e) => write!(f, "IfFlag({}/{})", t.len(), e.len()),
             Instr::IfNowPast(_, b) => write!(f, "IfNowPast({} instrs)", b.len()),
+            Instr::PeriodicRelease(p) => write!(f, "PeriodicRelease({p})"),
+            Instr::DegradedGate(n, d) => write!(f, "DegradedGate({}/{})", n.len(), d.len()),
             Instr::Return => f.write_str("Return"),
         }
     }
@@ -246,6 +303,16 @@ pub fn if_now_past(
     Instr::IfNowPast(Arc::new(f), body.into())
 }
 
+/// [`Instr::PeriodicRelease`].
+pub fn periodic_release(period: SimDuration) -> Instr {
+    Instr::PeriodicRelease(period)
+}
+
+/// [`Instr::DegradedGate`].
+pub fn degraded_gate(nominal: Vec<Instr>, fallback: Vec<Instr>) -> Instr {
+    Instr::DegradedGate(nominal.into(), fallback.into())
+}
+
 /// [`Instr::Return`].
 pub fn ret() -> Instr {
     Instr::Return
@@ -264,22 +331,59 @@ enum Flow {
 /// interpreter. Issues exactly the `Agent`/relation calls the equivalent
 /// hand-written closure body would.
 pub fn run_blocking(script: &[Instr], agent: &mut dyn Agent, io: &Io) {
-    let mut regs = Regs::initial(agent.now());
-    let _ = exec_list(script, agent, io, &mut regs);
+    run_blocking_with(script, agent, io, None);
 }
 
-fn exec_list(list: &[Instr], agent: &mut dyn Agent, io: &Io, regs: &mut Regs) -> Flow {
+/// [`run_blocking`] with a fault-injection context (see [`FaultCtx`]);
+/// `None` is exactly `run_blocking`.
+pub fn run_blocking_with(
+    script: &[Instr],
+    agent: &mut dyn Agent,
+    io: &Io,
+    mut fctx: Option<FaultCtx>,
+) {
+    let mut regs = Regs::initial(agent.now());
+    let _ = exec_list(script, agent, io, &mut regs, &mut fctx);
+}
+
+fn exec_list(
+    list: &[Instr],
+    agent: &mut dyn Agent,
+    io: &Io,
+    regs: &mut Regs,
+    fctx: &mut Option<FaultCtx>,
+) -> Flow {
     for instr in list {
-        if let Flow::Return = exec_blocking(instr, agent, io, regs) {
+        if let Flow::Return = exec_blocking(instr, agent, io, regs, fctx) {
             return Flow::Return;
         }
     }
     Flow::Next
 }
 
-fn exec_blocking(instr: &Instr, agent: &mut dyn Agent, io: &Io, regs: &mut Regs) -> Flow {
+fn exec_blocking(
+    instr: &Instr,
+    agent: &mut dyn Agent,
+    io: &Io,
+    regs: &mut Regs,
+    fctx: &mut Option<FaultCtx>,
+) -> Flow {
     match instr {
-        Instr::Execute(f) => agent.execute(f(regs)),
+        Instr::Execute(f) => {
+            let mut d = f(regs);
+            if let Some(fc) = fctx.as_ref() {
+                let now = agent.now();
+                let extra = fc.injector.burst_extra(&fc.task, now, d);
+                if extra > SimDuration::ZERO {
+                    let actor = agent.trace_actor();
+                    agent
+                        .recorder()
+                        .fault(actor, now, FaultKind::Burst, extra.as_ps());
+                    d = d + extra;
+                }
+            }
+            agent.execute(d);
+        }
         Instr::Delay(f) => agent.delay(f(regs)),
         Instr::DelayUntil(f) => {
             let next = f(regs);
@@ -320,7 +424,7 @@ fn exec_blocking(instr: &Instr, agent: &mut dyn Agent, io: &Io, regs: &mut Regs)
             let saved = regs.k;
             for i in 0..*n {
                 regs.k = i;
-                if let Flow::Return = exec_list(body, agent, io, regs) {
+                if let Flow::Return = exec_list(body, agent, io, regs, fctx) {
                     return Flow::Return;
                 }
             }
@@ -331,7 +435,7 @@ fn exec_blocking(instr: &Instr, agent: &mut dyn Agent, io: &Io, regs: &mut Regs)
             let mut i = 0u64;
             loop {
                 regs.k = i;
-                if let Flow::Return = exec_list(body, agent, io, regs) {
+                if let Flow::Return = exec_list(body, agent, io, regs, fctx) {
                     return Flow::Return;
                 }
                 i += 1;
@@ -339,12 +443,59 @@ fn exec_blocking(instr: &Instr, agent: &mut dyn Agent, io: &Io, regs: &mut Regs)
         }
         Instr::IfFlag(then_body, else_body) => {
             let body = if regs.flag { then_body } else { else_body };
-            return exec_list(body, agent, io, regs);
+            return exec_list(body, agent, io, regs, fctx);
         }
         Instr::IfNowPast(f, body) => {
             if agent.now() > f(regs) {
-                return exec_list(body, agent, io, regs);
+                return exec_list(body, agent, io, regs, fctx);
             }
+        }
+        Instr::PeriodicRelease(period) => {
+            let next_k = regs.k + 1;
+            let base = regs.started + *period * next_k;
+            let offset = fctx
+                .as_ref()
+                .map_or(SimDuration::ZERO, |fc| fc.release_offset(next_k));
+            let now = agent.now();
+            if offset > SimDuration::ZERO {
+                let actor = agent.trace_actor();
+                agent
+                    .recorder()
+                    .fault(actor, now, FaultKind::Jitter, offset.as_ps());
+            }
+            let next = base + offset;
+            if next > now {
+                agent.delay(next - now);
+            }
+        }
+        Instr::DegradedGate(nominal, fallback) => {
+            let mut use_fallback = false;
+            if let Some(fc) = fctx.as_mut() {
+                let now = agent.now();
+                let locally = fc.locally_faulted(now, regs.k);
+                if let Some(v) = fc.injector.degraded_tick(&fc.task, now, locally) {
+                    let actor = agent.trace_actor();
+                    match v.change {
+                        Some(ModeChange::EnterDegraded) => {
+                            agent.recorder().fault(actor, now, FaultKind::Degraded, 0);
+                            if fc.saved_deadline.is_none() {
+                                fc.saved_deadline = Some(agent.relative_deadline());
+                            }
+                            agent.set_relative_deadline(Some(v.relaxed_deadline));
+                        }
+                        Some(ModeChange::Recover) => {
+                            agent.recorder().fault(actor, now, FaultKind::Recovered, 0);
+                            if let Some(orig) = fc.saved_deadline.take() {
+                                agent.set_relative_deadline(orig);
+                            }
+                        }
+                        None => {}
+                    }
+                    use_fallback = v.degraded;
+                }
+            }
+            let body = if use_fallback { fallback } else { nominal };
+            return exec_list(body, agent, io, regs, fctx);
         }
         Instr::Return => return Flow::Return,
     }
@@ -458,10 +609,11 @@ enum Pending {
     EventRetry(Arc<str>),
     /// Complete a fugitive-event wait (the wake was the signal).
     EventFinish(Arc<str>),
-    /// Re-attempt a blocked queue write (carrying the message back).
-    QueueWrite(Arc<str>, Message),
-    /// Re-attempt a blocked queue read.
-    QueueRead(Arc<str>),
+    /// Re-attempt a blocked queue write (carrying the message and the
+    /// seniority ticket back).
+    QueueWrite(Arc<str>, Message, Option<u64>),
+    /// Re-attempt a blocked queue read (carrying the seniority ticket).
+    QueueRead(Arc<str>, Option<u64>),
     /// Re-attempt a shared-variable acquisition.
     VarAcquire(VarAccess),
     /// The under-lock compute finished: store, release, follow up.
@@ -491,6 +643,7 @@ pub struct ScriptProcess {
     regs: Regs,
     pending: Option<Pending>,
     begun: bool,
+    fctx: Option<FaultCtx>,
 }
 
 impl ScriptProcess {
@@ -504,6 +657,13 @@ impl ScriptProcess {
     /// [`register_seg_hw`](rtsim_core::register_seg_hw)).
     pub fn hw(runner: SegHwRunner, io: Arc<Io>, script: Arc<[Instr]>) -> Self {
         Self::new(Runner::Hw(runner), io, script)
+    }
+
+    /// Attaches a fault-injection context (see [`FaultCtx`]); without
+    /// one the interpreter is exactly the pre-fault interpreter.
+    pub fn with_fault(mut self, fctx: Option<FaultCtx>) -> Self {
+        self.fctx = fctx;
+        self
     }
 
     fn new(runner: Runner, io: Arc<Io>, script: Arc<[Instr]>) -> Self {
@@ -523,6 +683,7 @@ impl ScriptProcess {
             regs: Regs::initial(SimTime::ZERO),
             pending: None,
             begun: false,
+            fctx: None,
         }
     }
 
@@ -614,7 +775,19 @@ impl ScriptProcess {
     fn exec(&mut self, ctx: &mut SegmentCtx<'_>, instr: Instr) -> Progress {
         match instr {
             Instr::Execute(f) => {
-                let d = f(&self.regs);
+                let mut d = f(&self.regs);
+                if let Some(fc) = &self.fctx {
+                    let now = ctx.now();
+                    let extra = fc.injector.burst_extra(&fc.task, now, d);
+                    if extra > SimDuration::ZERO {
+                        let agent = self.runner.agent(ctx);
+                        let actor = agent.trace_actor();
+                        agent
+                            .recorder()
+                            .fault(actor, now, FaultKind::Burst, extra.as_ps());
+                        d = d + extra;
+                    }
+                }
                 self.runner.execute(d);
                 Progress::Intent
             }
@@ -647,9 +820,9 @@ impl ScriptProcess {
             Instr::AwaitEvent(name) => self.event_wait(ctx, name),
             Instr::QueueWrite(name, f) => {
                 let msg = f(&self.regs);
-                self.queue_write(ctx, name, msg)
+                self.queue_write(ctx, name, msg, None)
             }
-            Instr::QueueRead(name) => self.queue_read(ctx, name),
+            Instr::QueueRead(name) => self.queue_read(ctx, name, None),
             Instr::QueueTryWrite(name, f) => {
                 let msg = f(&self.regs);
                 let q = self.io.queue(&name);
@@ -731,6 +904,75 @@ impl ScriptProcess {
                 }
                 Progress::Continue
             }
+            Instr::PeriodicRelease(period) => {
+                let next_k = self.regs.k + 1;
+                let base = self.regs.started + period * next_k;
+                let offset = self
+                    .fctx
+                    .as_ref()
+                    .map_or(SimDuration::ZERO, |fc| fc.release_offset(next_k));
+                let now = ctx.now();
+                if offset > SimDuration::ZERO {
+                    let agent = self.runner.agent(ctx);
+                    let actor = agent.trace_actor();
+                    agent
+                        .recorder()
+                        .fault(actor, now, FaultKind::Jitter, offset.as_ps());
+                }
+                let next = base + offset;
+                if next > now {
+                    self.runner.delay(now, next - now);
+                    Progress::Intent
+                } else {
+                    Progress::Continue
+                }
+            }
+            Instr::DegradedGate(nominal, fallback) => {
+                let mut use_fallback = false;
+                if let Some(fc) = self.fctx.as_mut() {
+                    let now = ctx.now();
+                    let locally = fc.locally_faulted(now, self.regs.k);
+                    if let Some(v) = fc.injector.degraded_tick(&fc.task, now, locally) {
+                        // Deadline changes go through the task handle
+                        // (hardware functions have no deadline — no-op,
+                        // exactly like the blocking interpreter).
+                        let handle = match &self.runner {
+                            Runner::Task(r) => Some(r.handle()),
+                            Runner::Hw(_) => None,
+                        };
+                        match v.change {
+                            Some(ModeChange::EnterDegraded) => {
+                                let agent = self.runner.agent(ctx);
+                                let actor = agent.trace_actor();
+                                agent.recorder().fault(actor, now, FaultKind::Degraded, 0);
+                                if let Some(h) = &handle {
+                                    if fc.saved_deadline.is_none() {
+                                        fc.saved_deadline = Some(h.relative_deadline());
+                                    }
+                                    h.set_relative_deadline(Some(v.relaxed_deadline));
+                                }
+                            }
+                            Some(ModeChange::Recover) => {
+                                let agent = self.runner.agent(ctx);
+                                let actor = agent.trace_actor();
+                                agent.recorder().fault(actor, now, FaultKind::Recovered, 0);
+                                if let Some(h) = &handle {
+                                    if let Some(orig) = fc.saved_deadline.take() {
+                                        h.set_relative_deadline(orig);
+                                    }
+                                }
+                            }
+                            None => {}
+                        }
+                        use_fallback = v.degraded;
+                    }
+                }
+                let body = if use_fallback { fallback } else { nominal };
+                if !body.is_empty() {
+                    self.push_body(body, FrameKind::Seq);
+                }
+                Progress::Continue
+            }
             Instr::Return => {
                 self.ctl.clear();
                 Progress::Continue
@@ -747,8 +989,8 @@ impl ScriptProcess {
                 ev.finish_fugitive_wait(&mut agent);
                 Progress::Continue
             }
-            Pending::QueueWrite(name, msg) => self.queue_write(ctx, name, msg),
-            Pending::QueueRead(name) => self.queue_read(ctx, name),
+            Pending::QueueWrite(name, msg, ticket) => self.queue_write(ctx, name, msg, ticket),
+            Pending::QueueRead(name, ticket) => self.queue_read(ctx, name, ticket),
             Pending::VarAcquire(acc) => self.var_begin(ctx, acc),
             Pending::VarHold(acc) => self.var_release(ctx, acc),
             Pending::VarRecord(acc) => {
@@ -778,27 +1020,38 @@ impl ScriptProcess {
         }
     }
 
-    fn queue_write(&mut self, ctx: &mut SegmentCtx<'_>, name: Arc<str>, msg: Message) -> Progress {
+    fn queue_write(
+        &mut self,
+        ctx: &mut SegmentCtx<'_>,
+        name: Arc<str>,
+        msg: Message,
+        mut ticket: Option<u64>,
+    ) -> Progress {
         let q = self.io.queue(&name);
         let res = {
             let mut agent = self.runner.agent(ctx);
-            q.write_attempt(&mut agent, msg)
+            q.write_attempt(&mut agent, msg, &mut ticket)
         };
         match res {
             Ok(()) => Progress::Continue,
             Err(m) => {
                 self.runner.suspend(false);
-                self.pending = Some(Pending::QueueWrite(name, m));
+                self.pending = Some(Pending::QueueWrite(name, m, ticket));
                 Progress::Intent
             }
         }
     }
 
-    fn queue_read(&mut self, ctx: &mut SegmentCtx<'_>, name: Arc<str>) -> Progress {
+    fn queue_read(
+        &mut self,
+        ctx: &mut SegmentCtx<'_>,
+        name: Arc<str>,
+        mut ticket: Option<u64>,
+    ) -> Progress {
         let q = self.io.queue(&name);
         let got = {
             let mut agent = self.runner.agent(ctx);
-            q.read_attempt(&mut agent)
+            q.read_attempt(&mut agent, &mut ticket)
         };
         match got {
             Some(m) => {
@@ -807,7 +1060,7 @@ impl ScriptProcess {
             }
             None => {
                 self.runner.suspend(false);
-                self.pending = Some(Pending::QueueRead(name));
+                self.pending = Some(Pending::QueueRead(name, ticket));
                 Progress::Intent
             }
         }

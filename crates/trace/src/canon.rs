@@ -18,6 +18,7 @@
 //! <at_ps> <seq> <actor-index> R acquired|released
 //! <at_ps> <seq> <actor-index> A <escaped-label>
 //! <at_ps> <seq> <actor-index> K <core>
+//! <at_ps> <seq> <actor-index> F <fault-kind> <magnitude_ps>
 //! ```
 //!
 //! Times are picoseconds since time zero; names and annotation labels
@@ -104,6 +105,9 @@ fn canonical_record_into(out: &mut String, r: &Record) {
         }
         TraceData::Core(core) => {
             let _ = write!(out, "K {core}");
+        }
+        TraceData::Fault { kind, magnitude_ps } => {
+            let _ = write!(out, "F {kind} {magnitude_ps}");
         }
     }
 }

@@ -51,6 +51,9 @@ pub fn write_csv<W: Write>(trace: &Trace, mut out: W) -> io::Result<()> {
             TraceData::ResourceHeld(held) => ("resource", held.to_string(), String::new()),
             TraceData::Annotation(label) => ("annotation", escape(label), String::new()),
             TraceData::Core(core) => ("core", core.to_string(), String::new()),
+            TraceData::Fault { kind, magnitude_ps } => {
+                ("fault", kind.to_string(), magnitude_ps.to_string())
+            }
         };
         writeln!(
             out,

@@ -37,6 +37,7 @@ pub mod csv;
 pub mod measure;
 pub mod record;
 pub mod recorder;
+pub mod robust;
 pub mod stats;
 pub mod timeline;
 pub mod vcd;
@@ -45,7 +46,10 @@ pub use canon::{canonical, canonical_record, write_canonical};
 pub use csv::write_csv;
 pub use vcd::write_vcd;
 pub use measure::{Job, Measure};
-pub use record::{ActorId, ActorInfo, ActorKind, CommKind, OverheadKind, Record, TaskState, TraceData};
+pub use record::{
+    ActorId, ActorInfo, ActorKind, CommKind, FaultKind, OverheadKind, Record, TaskState, TraceData,
+};
 pub use recorder::{Trace, TraceRecorder};
+pub use robust::RobustnessSummary;
 pub use stats::{DurationSummary, RelationStats, Statistics, TaskStats};
 pub use timeline::TimelineOptions;

@@ -163,6 +163,46 @@ impl fmt::Display for CommKind {
     }
 }
 
+/// Kind of injected fault or fault-response transition (see the
+/// `rtsim-fault` crate). Fault records only appear in runs that install
+/// a fault plan, so nominal traces — and every pre-fault golden — keep
+/// their canonical form unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A queue message was silently lost on its channel.
+    DropMessage,
+    /// An event notification was silently lost.
+    DropSignal,
+    /// A release was delayed by an injected arrival-jitter offset.
+    Jitter,
+    /// An execution segment's cost was scaled up by an overload burst.
+    Burst,
+    /// The task entered its degraded mode.
+    Degraded,
+    /// The task recovered to nominal mode.
+    Recovered,
+}
+
+impl FaultKind {
+    /// Short stable key used in the canonical trace format.
+    pub const fn key(self) -> &'static str {
+        match self {
+            FaultKind::DropMessage => "drop-message",
+            FaultKind::DropSignal => "drop-signal",
+            FaultKind::Jitter => "jitter",
+            FaultKind::Burst => "burst",
+            FaultKind::Degraded => "degraded",
+            FaultKind::Recovered => "recovered",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
 /// Payload of one trace record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceData {
@@ -198,6 +238,17 @@ pub enum TraceData {
     /// Recorded by SMP processors only — single-core traces never carry
     /// it, keeping their canonical form unchanged.
     Core(usize),
+    /// A fault was injected (or a degraded-mode transition taken) at the
+    /// actor. `magnitude_ps` carries the fault's size where one exists —
+    /// the jitter offset or the extra burst cost in picoseconds — and is
+    /// zero for drops and mode transitions. Recorded only in runs with a
+    /// fault plan installed, keeping nominal traces unchanged.
+    Fault {
+        /// What kind of fault.
+        kind: FaultKind,
+        /// Fault size in picoseconds (zero when not applicable).
+        magnitude_ps: u64,
+    },
 }
 
 /// One timestamped trace record.

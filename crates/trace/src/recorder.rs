@@ -137,6 +137,13 @@ impl TraceRecorder {
         self.push(at, actor, TraceData::Core(core));
     }
 
+    /// Records an injected fault (or degraded-mode transition) at
+    /// `actor`. Only fault-plan runs ever call this, so nominal traces
+    /// never carry fault records.
+    pub fn fault(&self, actor: ActorId, at: SimTime, kind: crate::record::FaultKind, magnitude_ps: u64) {
+        self.push(at, actor, TraceData::Fault { kind, magnitude_ps });
+    }
+
     /// Takes an immutable snapshot of everything recorded so far.
     pub fn snapshot(&self) -> Trace {
         let inner = self.inner.lock();

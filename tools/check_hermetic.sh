@@ -62,12 +62,13 @@ cargo test -q --offline --workspace
 echo "== hermetic check: regression farm goldens (smoke subset, both exec modes) =="
 # The release build above already produced the farm binary; sweep the
 # smoke matrix (which includes the dual-core smp_partitioned/smp_global
-# cells) against tests/goldens/farm.jsonl so behavioural drift is
-# caught here too. Re-pin intentional changes with `rtsim-farm --bless`.
-# The sweep runs once per kernel execution mode: the thread-backed and
-# the run-to-completion (segment) kernels must both reproduce the same
-# pinned goldens — the cheap CI face of the 160-cell equivalence oracle
-# in crates/farm/tests/exec_mode_equiv.rs.
+# cells and two fault-injection cells, so the fault lanes are pinned in
+# both exec modes on every CI run) against tests/goldens/farm.jsonl so
+# behavioural drift is caught here too. Re-pin intentional changes with
+# `rtsim-farm --bless`. The sweep runs once per kernel execution mode:
+# the thread-backed and the run-to-completion (segment) kernels must
+# both reproduce the same pinned goldens — the cheap CI face of the
+# 224-cell equivalence oracle in crates/farm/tests/exec_mode_equiv.rs.
 for exec_mode in thread segment; do
     echo "-- exec mode: $exec_mode --"
     RTSIM_BENCH_SMOKE=1 RTSIM_EXEC_MODE="$exec_mode" \
@@ -125,17 +126,20 @@ RTSIM_BENCH_SMOKE=1 RTSIM_BENCH_OUT="$bench_out" \
     "$bench_out/bench-ab_speed_table.jsonl"
 
 echo "== hermetic check: schedule explorer smoke + coverage baseline =="
-# Exhaustively explore three scenarios under a smoke budget (all
+# Exhaustively explore four scenarios under a smoke budget (all
 # complete well inside it — the dual-core smp_migration race needs
 # ~18k runs, so the SMP dispatch/migration machinery is fully
-# model-checked on every CI run) and gate the explored-state
-# trajectory against the committed baseline at zero tolerance:
-# exploration is deterministic, so any drift in state/run/trace
-# counts is a real behaviour change in the kernel's choice points,
+# model-checked on every CI run; fault_dropout explores every producer
+# interleaving under a scripted message-drop window, so the fault
+# lanes are model-checked too) and gate the explored-state trajectory
+# against the committed baseline at zero tolerance: exploration is
+# deterministic, so any drift in state/run/trace counts is a real
+# behaviour change in the kernel's choice points or the fault model,
 # not noise.
 RTSIM_BENCH_SMOKE=1 RTSIM_BENCH_OUT="$bench_out" \
     "$repo/target/release/rtsim-check" --budget 20000 \
-    --scenario irq_races --scenario pipeline --scenario smp_migration
+    --scenario irq_races --scenario pipeline --scenario smp_migration \
+    --scenario fault_dropout
 "$repo/target/release/rtsim-bench-diff" --max-regress-pct 0 \
     "$repo/crates/bench/baselines/bench-check.jsonl" \
     "$bench_out/bench-check.jsonl"
